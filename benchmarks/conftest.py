@@ -1,0 +1,24 @@
+"""Benchmark fixtures: a shared full-scale world built once per session.
+
+The benchmarks time the paper's *analyses* (the interesting part), not
+world construction; the world is session-cached.  Scale can be reduced
+for quick runs with ``REPRO_BENCH_SCALE=0.3 pytest benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.scenario.build import build_world
+from repro.scenario.world import World
+
+BENCH_SEED = 7
+
+
+@pytest.fixture(scope="session")
+def bench_world() -> World:
+    """The full-scale world every benchmark analyses."""
+    scale = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+    return build_world(scale=scale, seed=BENCH_SEED)

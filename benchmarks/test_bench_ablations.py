@@ -1,0 +1,49 @@
+"""Bench: the two ablations of DESIGN.md §6.
+
+* ROV sweep: Figure 9's Invalid-vs-Valid separation is produced by large
+  MANRS transits deploying ROV — full deployment separates at least as
+  strongly as zero deployment.
+* Visibility sweep: §11's limitation quantified — fewer vantage points
+  never *lower* the conformance estimate (unseen announcements can only
+  hide problems).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import ablations
+
+
+def test_bench_rov_ablation(benchmark, bench_world):
+    points = benchmark.pedantic(
+        ablations.rov_deployment_ablation,
+        args=(bench_world,),
+        kwargs={"levels": (0.0, 0.5, 1.0)},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(ablations.render_rov_ablation(points))
+    none, _, full = points
+    assert full.deployed_large_members > none.deployed_large_members
+    # The separation is the filtering signal: it must grow (or at least
+    # not shrink) with deployment, and be substantial at full deployment.
+    assert full.separation >= none.separation
+    assert full.separation > 0.10
+    # Valid routes are indifferent to ROV.
+    assert abs(full.valid_prefer_manrs - none.valid_prefer_manrs) < 0.10
+
+
+def test_bench_visibility_ablation(benchmark, bench_world):
+    points = benchmark.pedantic(
+        ablations.visibility_ablation,
+        args=(bench_world,),
+        kwargs={"fractions": (0.1, 0.5, 1.0)},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(ablations.render_visibility_ablation(points))
+    visible = [p.visible_prefix_origins for p in points]
+    assert visible == sorted(visible)  # more VPs -> more visibility
+    # §11: limited visibility can only overestimate conformance.
+    assert points[0].isp_conformance_pct >= points[-1].isp_conformance_pct - 0.5

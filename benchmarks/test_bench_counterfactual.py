@@ -1,0 +1,26 @@
+"""Bench: the full-member-compliance counterfactual (§10's headroom)."""
+
+from __future__ import annotations
+
+from repro.experiments import counterfactual
+
+
+def test_bench_counterfactual(benchmark, bench_world):
+    result = benchmark.pedantic(
+        counterfactual.run, args=(bench_world,), rounds=1, iterations=1
+    )
+    print()
+    print(counterfactual.render(result))
+    measured = result.measured
+    compliant = result.full_compliance
+    # Full compliance drives invalid traffic out of member networks
+    # entirely (total transit pairs may *rise* as invalids detour onto
+    # longer non-member paths), and no invalid announcement prefers
+    # MANRS transit any more.
+    assert compliant.invalid_member_transit_pairs == 0
+    assert measured.invalid_member_transit_pairs > 0
+    assert compliant.invalid_prefer_manrs <= measured.invalid_prefer_manrs
+    assert compliant.invalid_prefer_manrs < 0.05
+    # ...but cannot fix what non-members originate outside MANRS cones:
+    # some invalids stay visible (the paper's "collective action" limit).
+    assert compliant.visible_invalid_announcements > 0

@@ -1,0 +1,15 @@
+"""Bench: regenerate Finding 7.0 (registration completeness)."""
+
+from __future__ import annotations
+
+from repro.experiments import f70_completeness
+
+
+def test_bench_f70(benchmark, bench_world):
+    report = benchmark(f70_completeness.run, bench_world)
+    print()
+    print(f70_completeness.render(report))
+    # Paper: 70% of orgs registered all ASNs; 82% announce only through
+    # registered ASNs.
+    assert 55.0 <= report.pct_all_asns <= 90.0
+    assert report.pct_all_space >= report.pct_all_asns

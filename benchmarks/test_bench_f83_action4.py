@@ -1,0 +1,16 @@
+"""Bench: regenerate Findings 8.3/8.4 (Action 4 conformance)."""
+
+from __future__ import annotations
+
+from repro.experiments import f83_action4
+from repro.manrs.actions import Program
+
+
+def test_bench_f83(benchmark, bench_world):
+    summaries = benchmark(f83_action4.run, bench_world)
+    print()
+    print(f83_action4.render(summaries))
+    # Paper: 95% of ISPs, 86% (18/21) of CDNs conformant.
+    assert summaries[Program.ISP].pct_conformant >= 88.0
+    assert 60.0 <= summaries[Program.CDN].pct_conformant <= 97.0
+    assert summaries[Program.CDN].unconformant_asns

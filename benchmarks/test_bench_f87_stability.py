@@ -1,0 +1,20 @@
+"""Bench: regenerate Finding 8.7 / §8.5 (conformance stability)."""
+
+from __future__ import annotations
+
+from repro.experiments import f87_stability
+
+
+def test_bench_f87(benchmark, bench_world):
+    result = benchmark.pedantic(
+        f87_stability.run, args=(bench_world,), kwargs={"n_weeks": 12, "seed": 3},
+        rounds=2, iterations=1,
+    )
+    print()
+    print(f87_stability.render(result))
+    report = result.report
+    total = len(report.classification)
+    # Paper: the overwhelming majority are stable; a handful flap.
+    assert report.always_conformant / total > 0.8
+    assert report.always_unconformant >= 1
+    assert 1 <= report.flapping <= max(2, int(0.06 * total))

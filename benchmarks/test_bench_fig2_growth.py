@@ -1,0 +1,16 @@
+"""Bench: regenerate Figure 2 (MANRS growth 2015–2022)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig2_growth
+
+
+def test_bench_fig2(benchmark, bench_world):
+    points = benchmark(fig2_growth.run, bench_world)
+    print()
+    print(fig2_growth.render(points))
+    # Shape: monotone growth with the 2020 wave as the largest increment.
+    orgs = [p.organizations for p in points]
+    assert orgs == sorted(orgs)
+    increments = {p.year: b - a for p, a, b in zip(points[1:], orgs, orgs[1:])}
+    assert max(increments, key=increments.get) == 2020

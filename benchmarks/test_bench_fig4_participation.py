@@ -1,0 +1,21 @@
+"""Bench: regenerate Figure 4 (participation by RIR over time)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig4_participation
+from repro.registry.rir import RIR
+
+
+def test_bench_fig4(benchmark, bench_world):
+    result = benchmark.pedantic(
+        fig4_participation.run, args=(bench_world,), rounds=2, iterations=1
+    )
+    print()
+    print(fig4_participation.render(result))
+    # 4a: LACNIC wave in 2020 is its largest membership jump.
+    lacnic = dict(result.ases_by_rir[RIR.LACNIC])
+    jumps = {y: lacnic[y] - lacnic[y - 1] for y in range(2016, 2023)}
+    assert max(jumps, key=jumps.get) == 2020
+    # 4b: APNIC space jumps in 2020 (flagship transit joins).
+    apnic = dict(result.space_share_by_rir[RIR.APNIC])
+    assert apnic[2020] - apnic[2019] > 1.0

@@ -1,0 +1,25 @@
+"""Bench: regenerate Figure 5 (origination validity CDFs, Action 4)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig5_origination
+from repro.topology.classify import SizeClass
+
+SMALL_M, SMALL_N = (SizeClass.SMALL, True), (SizeClass.SMALL, False)
+LARGE_M, LARGE_N = (SizeClass.LARGE, True), (SizeClass.LARGE, False)
+
+
+def test_bench_fig5(benchmark, bench_world):
+    result = benchmark(fig5_origination.run, bench_world)
+    print()
+    print(fig5_origination.render(result))
+    modes = result.modes
+    # Finding 8.1: small MANRS markedly likelier to be all-RPKI-valid.
+    assert modes[SMALL_M].only_rpki_valid > 1.8 * modes[SMALL_N].only_rpki_valid
+    # Finding 8.2: large MANRS less IRR-valid than large non-MANRS.
+    assert result.irr_cdf[LARGE_M].median < result.irr_cdf[LARGE_N].median
+    # §8.2: IRR-only registration dominated by non-members.
+    assert (
+        modes[SMALL_N].irr_only_registration
+        > 2 * modes[SMALL_M].irr_only_registration
+    )

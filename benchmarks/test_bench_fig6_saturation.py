@@ -1,0 +1,25 @@
+"""Bench: regenerate Figure 6 (RPKI saturation over time)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig6_saturation
+
+
+def test_bench_fig6(benchmark, bench_world):
+    points = benchmark.pedantic(
+        fig6_saturation.run, args=(bench_world,), rounds=1, iterations=1
+    )
+    print()
+    print(fig6_saturation.render(points))
+    final = points[-1]
+    # Paper (May 2022): MANRS 58.2% vs non-MANRS 30.2% — roughly 2x.
+    assert final.manrs_saturation > 1.5 * final.other_saturation
+    assert 40.0 <= final.manrs_saturation <= 80.0
+    # The CDN-program launch produces a pronounced 2020 jump.  (Early
+    # years have few members, so a single big adopter can also produce a
+    # large early swing — we assert the 2020 jump exists, not that it is
+    # the unique maximum.)
+    by_year = {p.year: p.manrs_saturation for p in points}
+    jumps = {y: by_year[y] - by_year[y - 1] for y in range(2016, 2023)}
+    assert jumps[2020] > 8.0
+    assert by_year[2022] > by_year[2019] + 15.0

@@ -1,0 +1,24 @@
+"""Bench: regenerate Figure 7 (invalid-prefix propagation CDFs)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig7_filtering
+from repro.topology.classify import SizeClass
+
+SMALL_M, SMALL_N = (SizeClass.SMALL, True), (SizeClass.SMALL, False)
+LARGE_M, LARGE_N = (SizeClass.LARGE, True), (SizeClass.LARGE, False)
+
+
+def test_bench_fig7(benchmark, bench_world):
+    result = benchmark(fig7_filtering.run, bench_world)
+    print()
+    print(fig7_filtering.render(result))
+    # §9.1: small ASes propagate almost no RPKI-Invalids (99% at zero).
+    for population in (SMALL_M, SMALL_N):
+        assert result.rpki_cdf[population].fraction_at_most(0.0) > 0.9
+    # Figure 7a: large networks propagate at most a few percent.
+    assert result.rpki_cdf[LARGE_M].maximum < 12.0
+    assert result.rpki_cdf[LARGE_N].maximum < 12.0
+    # Figure 7b: IRR-invalid propagation is far more common, and the
+    # non-MANRS tail is heavier than the MANRS tail.
+    assert result.irr_cdf[LARGE_N].maximum > result.irr_cdf[LARGE_M].median

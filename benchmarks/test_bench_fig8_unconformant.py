@@ -1,0 +1,22 @@
+"""Bench: regenerate Figure 8 (unconformant customer-prefix propagation)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig8_unconformant
+from repro.topology.classify import SizeClass
+
+LARGE_M = (SizeClass.LARGE, True)
+SMALL_M = (SizeClass.SMALL, True)
+
+
+def test_bench_fig8(benchmark, bench_world):
+    cdfs = benchmark(fig8_unconformant.run, bench_world)
+    print()
+    print(fig8_unconformant.render(cdfs))
+    # Figure 8: every large MANRS AS stays below 15% unconformant, and
+    # the median is low single digits (2.5% in the paper).
+    assert cdfs[LARGE_M].n > 0
+    assert cdfs[LARGE_M].maximum < 15.0
+    assert cdfs[LARGE_M].median < 8.0
+    # Small MANRS ASes propagate essentially nothing unconformant.
+    assert cdfs[SMALL_M].median == 0.0

@@ -1,0 +1,126 @@
+"""Micro-benchmarks of the substrates the pipeline is built on.
+
+These are not paper figures — they track the cost of the primitives a
+downstream user would hit hardest: ROV lookups, IRR validation,
+per-origin propagation, relying-party validation, and IHR construction.
+"""
+
+from __future__ import annotations
+
+from repro.bgp.collector import collect_rib
+from repro.bgp.policy import RouteClass
+from repro.ihr.pipeline import build_ihr_dataset
+from repro.irr.validation import validate_irr
+from repro.rpki.validator import RelyingParty
+
+
+def test_bench_rov_lookup(benchmark, bench_world):
+    records = bench_world.ihr.prefix_origins[:2000]
+
+    def run() -> int:
+        validator = bench_world.rov
+        return sum(
+            1
+            for record in records
+            if validator.validate(record.prefix, record.origin).is_invalid
+        )
+
+    invalids = benchmark(run)
+    assert invalids >= 0
+    print(f"\n  {len(records)} ROV lookups per round over {len(bench_world.rov)} VRPs")
+
+
+def test_bench_irr_validation(benchmark, bench_world):
+    records = bench_world.ihr.prefix_origins[:2000]
+
+    def run() -> int:
+        return sum(
+            1
+            for record in records
+            if validate_irr(
+                bench_world.irr, record.prefix, record.origin
+            ).is_invalid_origin
+        )
+
+    benchmark(run)
+    print(
+        f"\n  {len(records)} IRR validations per round over "
+        f"{bench_world.irr.route_count} route objects"
+    )
+
+
+def test_bench_propagation(benchmark, bench_world):
+    origins = [
+        asn for asn in bench_world.topology.asns if bench_world.originations.get(asn)
+    ][:200]
+
+    def run() -> int:
+        total = 0
+        for origin in origins:
+            total += len(
+                bench_world.engine.paths_to(
+                    origin, bench_world.vantage_points
+                )
+            )
+        return total
+
+    paths = benchmark(run)
+    assert paths > 0
+    print(
+        f"\n  {len(origins)} origins propagated per round over "
+        f"{len(bench_world.topology)} ASes, {len(bench_world.vantage_points)} VPs"
+    )
+
+
+def test_bench_relying_party(benchmark, bench_world):
+    relying_party = RelyingParty(bench_world.rpki_repository)
+
+    def run() -> int:
+        return len(relying_party.validate(bench_world.snapshot_date).vrps)
+
+    vrps = benchmark(run)
+    assert vrps == len(bench_world.rov)
+    print(f"\n  full RP validation: {vrps} VRPs")
+
+
+def test_bench_ihr_pipeline(benchmark, bench_world):
+    result = benchmark.pedantic(
+        build_ihr_dataset,
+        args=(
+            bench_world.rib,
+            bench_world.rov,
+            bench_world.irr,
+            bench_world.topology,
+        ),
+        rounds=2,
+        iterations=1,
+    )
+    assert len(result.prefix_origins) == len(bench_world.ihr.prefix_origins)
+    print(
+        f"\n  IHR build: {len(result.prefix_origins)} prefix-origins, "
+        f"{len(result.transit_groups)} transit groups"
+    )
+
+
+def test_bench_full_collection(benchmark, bench_world):
+    announcements = [
+        (announcement, RouteClass())
+        for group in bench_world.rib.groups[:500]
+        for announcement in _announcements(group)
+    ]
+
+    def run() -> int:
+        rib = collect_rib(
+            bench_world.engine, announcements, bench_world.vantage_points
+        )
+        return len(rib.groups)
+
+    groups = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert groups > 0
+    print(f"\n  collection of {len(announcements)} announcements per round")
+
+
+def _announcements(group):
+    from repro.bgp.announcement import Announcement
+
+    return [Announcement(prefix, group.origin) for prefix in group.prefixes]

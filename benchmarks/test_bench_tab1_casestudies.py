@@ -1,0 +1,19 @@
+"""Bench: regenerate Table 1 (case-study attribution)."""
+
+from __future__ import annotations
+
+from repro.experiments import tab1_casestudies
+
+
+def test_bench_tab1(benchmark, bench_world):
+    rows = benchmark(tab1_casestudies.run, bench_world)
+    print()
+    print(tab1_casestudies.render(rows))
+    assert len(rows) == 6  # 3 CDNs + 3 ISP orgs
+    attributed = sum(row.total_attributed for row in rows)
+    sibling_cp = sum(row.rpki_sibling_cp + row.irr_sibling_cp for row in rows)
+    # Finding 8.5: >50% of mismatches point at siblings or direct C-P.
+    assert attributed > 0
+    assert sibling_cp / attributed > 0.5
+    # IRR Invalid dominates RPKI Invalid (roughly 99:1 in the paper).
+    assert sum(r.irr_invalid for r in rows) > sum(r.rpki_invalid for r in rows)

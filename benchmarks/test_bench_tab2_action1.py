@@ -1,0 +1,22 @@
+"""Bench: regenerate Table 2 (Action 1 conformance by size class)."""
+
+from __future__ import annotations
+
+from repro.experiments import tab2_action1
+from repro.topology.classify import SizeClass
+
+
+def test_bench_tab2(benchmark, bench_world):
+    summaries = benchmark(tab2_action1.run, bench_world)
+    print()
+    print(tab2_action1.render(summaries))
+    small = summaries[SizeClass.SMALL]
+    medium = summaries[SizeClass.MEDIUM]
+    large = summaries[SizeClass.LARGE]
+    # Paper Table 2: small 97.1% transit-conformant; medium 65.1%;
+    # large 0% — partial filter coverage always leaks at scale.
+    assert small.pct_transit_conformant > 88.0
+    assert 40.0 < medium.pct_transit_conformant < 90.0
+    assert large.transit_total > 0 and large.transit_conformant == 0
+    # Most small members provide no customer transit at all (§9.3).
+    assert small.transit_total < 0.5 * small.total_members

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Why MANRS actions matter: origin hijacks vs ROV deployment.
+
+§2.1 of the paper motivates MANRS with BGP origin hijacks.  This example
+closes the loop: it launches exact-prefix and sub-prefix hijacks against a
+victim in the synthetic Internet and measures how much of the Internet the
+attacker captures, sweeping ROV deployment among large transit ASes from
+0% to 100% — with and without the victim registering a ROA (Action 4).
+
+The punchline matches the ecosystem's logic: ROV only helps victims who
+registered; registration only helps when transit networks filter.
+
+Usage::
+
+    python examples/rov_impact.py [scale] [seed]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro.bgp.announcement import Announcement
+from repro.bgp.hijack import HijackKind, simulate_hijack
+from repro.bgp.policy import ASPolicy, RouteClass
+from repro.bgp.propagation import PropagationEngine
+from repro.scenario import build_world
+from repro.topology.classify import SizeClass
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.25
+    seed = int(sys.argv[2]) if len(sys.argv) > 2 else 3
+    world = build_world(scale=scale, seed=seed)
+    rng = np.random.default_rng(seed)
+
+    stubs = [
+        asn
+        for asn, size in world.size_of.items()
+        if size is SizeClass.SMALL and world.originations.get(asn)
+    ]
+    victim_asn, attacker_asn = (int(a) for a in rng.choice(stubs, 2, replace=False))
+    victim_prefix = world.originations[victim_asn][0].prefix
+    victim = Announcement(victim_prefix, victim_asn)
+    larges = sorted(
+        (asn for asn, size in world.size_of.items() if size is SizeClass.LARGE),
+        key=lambda a: -len(world.topology.customer_cone(a)),
+    )
+
+    print(
+        f"victim AS{victim_asn} announcing {victim_prefix}; "
+        f"attacker AS{attacker_asn}; {len(larges)} large transits"
+    )
+    print()
+    header = f"{'ROV larges':>10}  {'exact, no ROA':>13}  {'exact, ROA':>10}  {'sub-prefix, ROA':>15}"
+    print(header)
+    for deployed_fraction in (0.0, 0.25, 0.5, 0.75, 1.0):
+        n_deployed = round(deployed_fraction * len(larges))
+        policies = {
+            asn: ASPolicy(rov=True) for asn in larges[:n_deployed]
+        }
+        engine = PropagationEngine(world.topology, policies)
+        no_roa = simulate_hijack(
+            engine, victim, attacker_asn, world.vantage_points
+        )
+        with_roa = simulate_hijack(
+            engine,
+            victim,
+            attacker_asn,
+            world.vantage_points,
+            hijack_route_class=RouteClass(rpki_invalid=True),
+        )
+        sub_prefix = simulate_hijack(
+            engine,
+            victim,
+            attacker_asn,
+            world.vantage_points,
+            kind=HijackKind.SUB_PREFIX,
+            hijack_route_class=RouteClass(rpki_invalid=True),
+        )
+        print(
+            f"{n_deployed:>10}  "
+            f"{100 * no_roa.capture_fraction:12.1f}%  "
+            f"{100 * with_roa.capture_fraction:9.1f}%  "
+            f"{100 * sub_prefix.capture_fraction:14.1f}%"
+        )
+    print()
+    print(
+        "Without a ROA the hijack is RPKI NotFound and ROV cannot help; "
+        "with a ROA, rising deployment shrinks the capture — and even "
+        "defeats the otherwise-always-winning sub-prefix attack."
+    )
+
+
+if __name__ == "__main__":
+    main()

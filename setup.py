@@ -1,0 +1,4 @@
+"""Setup shim: lets `python setup.py develop` work offline (no wheel pkg)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,27 @@
+"""repro: a full reproduction of "Mind Your MANRS: Measuring the MANRS
+Ecosystem" (Du et al., IMC 2022).
+
+The package builds a synthetic but behaviourally calibrated Internet —
+AS topology, BGP propagation, RPKI, IRR, route collectors, the MANRS
+membership registry — and runs the paper's complete measurement
+methodology over it: participation (§7), Action 4 prefix-origination
+conformance (§8), Action 1 route-filtering conformance (§9), and the
+MANRS impact analyses (RPKI saturation, preference scores).
+
+Quickstart::
+
+    from repro.scenario import build_world
+    from repro.core import build_report, render_report
+
+    world = build_world(scale=0.2, seed=42)
+    print(render_report(build_report(world)))
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from repro.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = ["ReproError", "__version__"]

@@ -1,0 +1,146 @@
+"""Route collectors: the RouteViews / RIPE RIS substitute.
+
+A collector has a set of *vantage points* (peer ASes exporting their full
+tables).  :func:`collect_rib` runs propagation for every announcement and
+records the AS path each vantage point selects, producing a
+:class:`RibSnapshot` — the raw material for the prefix2as dataset and the
+IHR pipeline.
+
+Announcements sharing (origin AS, filter class) propagate identically, so
+the snapshot stores one :class:`RouteGroup` per such pair — paths are kept
+once per group rather than once per prefix, which keeps full-table
+collection affordable in both time and memory.
+
+Real collectors see the Internet through a limited, biased set of vantage
+points (mostly large transit networks); §11 of the paper calls this out as
+the main limitation.  :func:`select_vantage_points` reproduces that bias:
+all large transits, a sample of mediums, and a few edge networks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.bgp.announcement import Announcement, RibEntry
+from repro.bgp.policy import RouteClass
+from repro.bgp.propagation import PropagationEngine
+from repro.net.prefix import Prefix
+from repro.topology.classify import SizeClass, classify_all
+from repro.topology.model import ASTopology
+
+__all__ = ["RouteGroup", "RibSnapshot", "collect_rib", "select_vantage_points"]
+
+
+@dataclass(frozen=True)
+class RouteGroup:
+    """Routes for all prefixes of one (origin, filter-class) pair.
+
+    ``paths`` maps each vantage point that selected a route to its AS path
+    (vantage point first, origin last).  Vantage points missing from the
+    mapping did not receive the announcement — typically because filters
+    dropped it on every valley-free path.
+    """
+
+    origin: int
+    route_class: RouteClass
+    prefixes: tuple[Prefix, ...]
+    paths: dict[int, tuple[int, ...]]
+
+
+@dataclass
+class RibSnapshot:
+    """All routes observed by the collector's vantage points."""
+
+    vantage_points: tuple[int, ...]
+    groups: list[RouteGroup]
+
+    def iter_entries(self) -> Iterator[RibEntry]:
+        """Expand groups into per-(vantage point, prefix) RIB entries."""
+        for group in self.groups:
+            for prefix in group.prefixes:
+                for vantage_point, path in group.paths.items():
+                    yield RibEntry(
+                        vantage_point=vantage_point,
+                        prefix=prefix,
+                        origin=group.origin,
+                        path=path,
+                    )
+
+    @property
+    def visible_announcements(self) -> set[Announcement]:
+        """Announcements seen by at least one vantage point."""
+        visible: set[Announcement] = set()
+        for group in self.groups:
+            if group.paths:
+                visible.update(
+                    Announcement(prefix, group.origin)
+                    for prefix in group.prefixes
+                )
+        return visible
+
+    def paths_for(self, announcement: Announcement) -> list[tuple[int, ...]]:
+        """Every vantage-point path recorded for one announcement."""
+        paths: list[tuple[int, ...]] = []
+        for group in self.groups:
+            if group.origin == announcement.origin and (
+                announcement.prefix in group.prefixes
+            ):
+                paths.extend(group.paths.values())
+        return paths
+
+
+def select_vantage_points(
+    topology: ASTopology,
+    n_medium: int = 25,
+    n_small: int = 5,
+    seed: int = 0,
+) -> tuple[int, ...]:
+    """Choose a RouteViews-like vantage-point set.
+
+    Every large AS peers with the collector (as the big transits do in
+    reality), plus ``n_medium`` mediums and ``n_small`` edge networks.
+    """
+    rng = np.random.default_rng(seed)
+    sizes = classify_all(topology)
+    larges = [asn for asn, size in sizes.items() if size is SizeClass.LARGE]
+    mediums = [asn for asn, size in sizes.items() if size is SizeClass.MEDIUM]
+    smalls = [asn for asn, size in sizes.items() if size is SizeClass.SMALL]
+    chosen = list(larges)
+    if mediums:
+        count = min(n_medium, len(mediums))
+        chosen.extend(int(a) for a in rng.choice(mediums, size=count, replace=False))
+    if smalls:
+        count = min(n_small, len(smalls))
+        chosen.extend(int(a) for a in rng.choice(smalls, size=count, replace=False))
+    return tuple(sorted(set(chosen)))
+
+
+def collect_rib(
+    engine: PropagationEngine,
+    announcements: Iterable[tuple[Announcement, RouteClass]],
+    vantage_points: Sequence[int],
+) -> RibSnapshot:
+    """Propagate every announcement and record vantage-point routes."""
+    grouped: dict[tuple[int, RouteClass], list[Prefix]] = {}
+    for announcement, route_class in announcements:
+        grouped.setdefault((announcement.origin, route_class), []).append(
+            announcement.prefix
+        )
+    groups: list[RouteGroup] = []
+    for (origin, route_class), prefixes in sorted(
+        grouped.items(),
+        key=lambda item: (item[0][0], item[0][1].rpki_invalid, item[0][1].irr_invalid),
+    ):
+        paths = engine.paths_to(origin, vantage_points, route_class)
+        groups.append(
+            RouteGroup(
+                origin=origin,
+                route_class=route_class,
+                prefixes=tuple(sorted(set(prefixes))),
+                paths=paths,
+            )
+        )
+    return RibSnapshot(vantage_points=tuple(vantage_points), groups=groups)

@@ -1,0 +1,118 @@
+"""BGP origin-hijack simulation.
+
+§2.1 of the paper motivates MANRS with prefix-origin hijacks.  This module
+injects a hijack against a victim announcement and measures, per vantage
+point, whether the hijacker or the victim wins — with and without ROV
+filtering deployed.  It backs the ``rov_impact`` example and the tests
+demonstrating that registration + filtering actually blunts hijacks in our
+model, closing the loop between the conformance metrics and the harm they
+are meant to prevent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.bgp.announcement import Announcement
+from repro.bgp.policy import RouteClass
+from repro.bgp.propagation import PropagationEngine, RouteKind
+from repro.errors import ReproError
+from repro.net.prefix import Prefix
+
+__all__ = ["HijackKind", "HijackOutcome", "simulate_hijack"]
+
+
+class HijackKind(str, Enum):
+    """Taxonomy (after Sermpezis et al.) restricted to origin hijacks."""
+
+    EXACT_PREFIX = "exact"        # attacker announces the same prefix
+    SUB_PREFIX = "sub_prefix"     # attacker announces a more specific
+
+
+@dataclass(frozen=True)
+class HijackOutcome:
+    """Result of a simulated hijack.
+
+    ``captured`` maps each vantage point to True when its traffic toward
+    the victim prefix would flow to the hijacker.
+    """
+
+    kind: HijackKind
+    victim: Announcement
+    attacker_announcement: Announcement
+    captured: dict[int, bool]
+
+    @property
+    def capture_fraction(self) -> float:
+        """Fraction of vantage points routed to the hijacker."""
+        if not self.captured:
+            return 0.0
+        return sum(self.captured.values()) / len(self.captured)
+
+
+def simulate_hijack(
+    engine: PropagationEngine,
+    victim: Announcement,
+    attacker: int,
+    vantage_points: tuple[int, ...],
+    kind: HijackKind = HijackKind.EXACT_PREFIX,
+    hijack_route_class: RouteClass = RouteClass(),
+) -> HijackOutcome:
+    """Simulate ``attacker`` hijacking the victim's prefix.
+
+    ``hijack_route_class`` expresses what validators would say about the
+    attacker's announcement: with the victim's prefix covered by a correct
+    ROA, an exact or sub-prefix hijack is RPKI Invalid
+    (``RouteClass(rpki_invalid=True)``) and ROV-deploying ASes drop it.
+    """
+    if attacker == victim.origin:
+        raise ReproError("attacker and victim must be distinct ASes")
+    if kind is HijackKind.SUB_PREFIX:
+        bits = victim.prefix.bits
+        if victim.prefix.length >= bits:
+            raise ReproError("cannot de-aggregate a host prefix")
+        hijack_prefix: Prefix = next(victim.prefix.subnets())
+    else:
+        hijack_prefix = victim.prefix
+    attacker_announcement = Announcement(hijack_prefix, attacker)
+
+    victim_routes = engine.propagate(
+        victim.origin, RouteClass(), targets=vantage_points
+    )
+    attacker_routes = engine.propagate(
+        attacker, hijack_route_class, targets=vantage_points
+    )
+
+    captured: dict[int, bool] = {}
+    for vantage_point in vantage_points:
+        victim_route = victim_routes.get(vantage_point)
+        attacker_route = attacker_routes.get(vantage_point)
+        if attacker_route is None:
+            captured[vantage_point] = False
+        elif kind is HijackKind.SUB_PREFIX:
+            # Longest-prefix match: the more specific always wins where it
+            # is visible at all.
+            captured[vantage_point] = True
+        elif victim_route is None:
+            captured[vantage_point] = True
+        else:
+            # Same prefix: standard best-path selection between the two.
+            victim_key = _selection_key(victim_route.kind, victim_route.length, victim_route.path)
+            attacker_key = _selection_key(
+                attacker_route.kind, attacker_route.length, attacker_route.path
+            )
+            captured[vantage_point] = attacker_key < victim_key
+    return HijackOutcome(
+        kind=kind,
+        victim=victim,
+        attacker_announcement=attacker_announcement,
+        captured=captured,
+    )
+
+
+def _selection_key(
+    kind: RouteKind, length: int, path: tuple[int, ...]
+) -> tuple[int, int, tuple[int, ...]]:
+    """BGP decision order: local pref (route kind), path length, tiebreak."""
+    return (int(kind), length, path)

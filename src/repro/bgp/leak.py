@@ -1,0 +1,167 @@
+"""Route-leak simulation (RFC 7908 type 1: full-table leak to providers).
+
+§2.1/§1 motivate MANRS with accidental compromises; the big 2020 leak the
+paper cites ([51]) was a customer re-exporting provider-learned routes
+upward.  The propagation engine enforces valley-free export, so a leak is
+modelled as an *event*: the leaker AS treats its selected route toward a
+victim origin as if it were customer-learned and re-announces it to all
+its providers and peers, from where normal (valley-free) propagation
+resumes.
+
+The outcome quantifies who prefers the leaked path — leaked routes win at
+ASes that hear the leak as a customer route (cheaper) or as a shorter
+path, which is exactly why leaks spread so destructively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bgp.policy import NeighborKind, RouteClass
+from repro.bgp.propagation import PropagationEngine, Route, RouteKind
+from repro.errors import ReproError
+
+__all__ = ["LeakOutcome", "simulate_leak"]
+
+
+@dataclass(frozen=True)
+class LeakOutcome:
+    """Result of one route-leak event."""
+
+    origin: int
+    leaker: int
+    #: The (valley-violating) path the leaker re-announces.
+    leaked_path: tuple[int, ...]
+    #: Vantage points whose best route now traverses the leak.
+    affected: dict[int, bool]
+
+    @property
+    def affected_fraction(self) -> float:
+        """Fraction of vantage points pulled onto the leaked path."""
+        if not self.affected:
+            return 0.0
+        return sum(self.affected.values()) / len(self.affected)
+
+
+def simulate_leak(
+    engine: PropagationEngine,
+    origin: int,
+    leaker: int,
+    vantage_points: tuple[int, ...],
+    route_class: RouteClass = RouteClass(),
+    leak_route_class: RouteClass | None = None,
+) -> LeakOutcome:
+    """Simulate ``leaker`` leaking its route toward ``origin`` upward.
+
+    ``route_class`` is the announcement's own validity (used for the
+    baseline propagation).  ``leak_route_class`` is how import filters see
+    the *leaked* copy: a leaked prefix is absent from the leaker's
+    registered announcement set, so IRR-derived prefix-lists classify it
+    as invalid even when the origin's own announcement is clean — pass
+    ``RouteClass(irr_invalid=True)`` to model that cascading mismatch.
+    Defaults to ``route_class``.
+
+    Raises :class:`ReproError` when the leaker has no route to leak, or
+    when its route is customer-learned (re-exporting a customer route is
+    legitimate, not a leak).
+    """
+    if leaker == origin:
+        raise ReproError("the origin cannot leak its own route")
+    if leak_route_class is None:
+        leak_route_class = route_class
+    baseline = engine.propagate(origin, route_class)
+    leaker_route = baseline.get(leaker)
+    if leaker_route is None:
+        raise ReproError(f"AS{leaker} has no route toward AS{origin}")
+    if leaker_route.kind in (RouteKind.ORIGIN, RouteKind.CUSTOMER):
+        raise ReproError(
+            "leaker's route is customer-learned; exporting it is not a leak"
+        )
+
+    # Propagate the leaked announcement: seed the leaker's providers and
+    # peers as if the leaker's path were a customer route, then let
+    # valley-free propagation continue from there.
+    leaked: dict[int, Route] = {leaker: Route(RouteKind.CUSTOMER, leaker_route.path)}
+    frontier = [leaker]
+    while frontier:
+        next_frontier = []
+        for holder in frontier:
+            holder_route = leaked[holder]
+            for provider in sorted(engine.topology.providers_of(holder)):
+                if provider in leaked or provider in holder_route.path:
+                    continue
+                if not engine.policy_of(provider).accepts(
+                    leak_route_class, NeighborKind.CUSTOMER,
+                    neighbor=holder, importer=provider,
+                ):
+                    continue
+                leaked[provider] = Route(
+                    RouteKind.CUSTOMER, (provider,) + holder_route.path
+                )
+                next_frontier.append(provider)
+        frontier = next_frontier
+    # One peer hop off any leaked customer route, then downward only.
+    peer_seeded: dict[int, Route] = {}
+    for holder, holder_route in leaked.items():
+        for peer in sorted(engine.topology.peers_of(holder)):
+            if peer in leaked or peer in peer_seeded or peer in holder_route.path:
+                continue
+            if not engine.policy_of(peer).accepts(
+                leak_route_class, NeighborKind.PEER
+            ):
+                continue
+            peer_seeded[peer] = Route(
+                RouteKind.PEER, (peer,) + holder_route.path
+            )
+    leaked.update(peer_seeded)
+
+    # Downward propagation: every AS holding the leaked route exports it
+    # to customers (providers export everything), breadth-first.
+    frontier = sorted(leaked)
+    while frontier:
+        candidates: dict[int, list[int]] = {}
+        for holder in frontier:
+            for customer in engine.topology.customers_of(holder):
+                if customer in leaked:
+                    continue
+                candidates.setdefault(customer, []).append(holder)
+        frontier = []
+        for customer, holders in candidates.items():
+            if not engine.policy_of(customer).accepts(
+                leak_route_class, NeighborKind.PROVIDER
+            ):
+                continue
+            best = min(
+                holders, key=lambda h: (leaked[h].length, h)
+            )
+            if customer in leaked[best].path:
+                continue
+            leaked[customer] = Route(
+                RouteKind.PROVIDER, (customer,) + leaked[best].path
+            )
+            frontier.append(customer)
+
+    affected: dict[int, bool] = {}
+    for vantage_point in vantage_points:
+        leak_route = leaked.get(vantage_point)
+        normal_route = baseline.get(vantage_point)
+        if leak_route is None:
+            affected[vantage_point] = False
+        elif normal_route is None:
+            affected[vantage_point] = True
+        else:
+            affected[vantage_point] = (
+                int(leak_route.kind),
+                leak_route.length,
+                leak_route.path,
+            ) < (
+                int(normal_route.kind),
+                normal_route.length,
+                normal_route.path,
+            )
+    return LeakOutcome(
+        origin=origin,
+        leaker=leaker,
+        leaked_path=leaker_route.path,
+        affected=affected,
+    )

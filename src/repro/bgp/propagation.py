@@ -1,0 +1,255 @@
+"""Valley-free (Gao–Rexford) BGP route propagation.
+
+Given an origin AS, the engine computes the route every other AS selects,
+honouring the standard export rules:
+
+* an AS exports routes learned from customers (and its own) to everyone;
+* routes learned from peers or providers are exported only to customers.
+
+and the standard selection preference: customer-learned > peer-learned >
+provider-learned, then shortest AS path, then lowest next-hop ASN.
+
+That policy structure admits the classic three-phase computation:
+
+1. **Customer routes** propagate "up" from the origin along
+   customer→provider edges (breadth-first, so paths are shortest).
+2. **Peer routes** appear at peers of ASes holding customer routes.
+3. **Provider routes** propagate "down"; we compute them *lazily* per
+   queried AS as a memoised best-over-providers recursion, because the
+   measurement pipeline only ever needs routes at collector vantage
+   points — this is what makes whole-Internet propagation tractable in
+   pure Python.
+
+Import filtering (ROV, MANRS Action 1) is applied at each acceptance step
+using the per-AS :class:`~repro.bgp.policy.ASPolicy`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import Iterable, Mapping
+
+from repro.bgp.policy import ASPolicy, NeighborKind, RouteClass
+from repro.errors import TopologyError
+from repro.topology.model import ASTopology
+
+__all__ = ["RouteKind", "Route", "PropagationEngine"]
+
+_DEFAULT_POLICY = ASPolicy()
+
+
+class RouteKind(IntEnum):
+    """How an AS learned its best route (lower is more preferred)."""
+
+    ORIGIN = 0
+    CUSTOMER = 1
+    PEER = 2
+    PROVIDER = 3
+
+
+@dataclass(frozen=True)
+class Route:
+    """The best route one AS holds toward an origin.
+
+    ``path`` runs from the holding AS (first element) to the origin (last
+    element).
+    """
+
+    kind: RouteKind
+    path: tuple[int, ...]
+
+    @property
+    def length(self) -> int:
+        """AS-path length in hops (edges, not nodes)."""
+        return len(self.path) - 1
+
+
+class PropagationEngine:
+    """Computes per-origin routing outcomes over a fixed topology.
+
+    The engine is immutable with respect to the topology and policies it
+    was built with; :meth:`propagate` calls are independent, so one engine
+    can serve many origins (and many filter classes per origin).
+    """
+
+    def __init__(
+        self,
+        topology: ASTopology,
+        policies: Mapping[int, ASPolicy] | None = None,
+    ):
+        self._topology = topology
+        policies = policies or {}
+        # Freeze adjacency into plain dict/tuple structures: propagation is
+        # the hot loop and must not pay frozenset-copy costs per call.
+        self._providers: dict[int, tuple[int, ...]] = {}
+        self._customers: dict[int, tuple[int, ...]] = {}
+        self._peers: dict[int, tuple[int, ...]] = {}
+        self._policies: dict[int, ASPolicy] = {}
+        for asn in topology.asns:
+            self._providers[asn] = tuple(sorted(topology.providers_of(asn)))
+            self._customers[asn] = tuple(sorted(topology.customers_of(asn)))
+            self._peers[asn] = tuple(sorted(topology.peers_of(asn)))
+            self._policies[asn] = policies.get(asn, _DEFAULT_POLICY)
+
+    @property
+    def topology(self) -> ASTopology:
+        """The topology this engine propagates over."""
+        return self._topology
+
+    def policy_of(self, asn: int) -> ASPolicy:
+        """The import policy the engine applies at ``asn``."""
+        return self._policies[asn]
+
+    # -- public API ---------------------------------------------------------
+
+    def propagate(
+        self,
+        origin: int,
+        route_class: RouteClass = RouteClass(),
+        targets: Iterable[int] | None = None,
+    ) -> dict[int, Route]:
+        """Compute selected routes toward ``origin``.
+
+        With ``targets`` given, provider routes (phase 3) are resolved only
+        for those ASes; the returned mapping contains every AS that holds a
+        customer/peer route plus any targets reachable via provider routes.
+        With ``targets=None``, provider routes are resolved for every AS.
+        """
+        if origin not in self._providers:
+            raise TopologyError(f"unknown origin AS{origin}")
+        routes = self._customer_routes(origin, route_class)
+        self._peer_routes(routes, route_class)
+        memo: dict[int, Route | None] = {}
+        if targets is None:
+            pending = [asn for asn in self._providers if asn not in routes]
+        else:
+            pending = [asn for asn in targets if asn not in routes]
+        for asn in pending:
+            if asn not in self._providers:
+                raise TopologyError(f"unknown target AS{asn}")
+            route = self._provider_route(asn, routes, route_class, memo)
+            if route is not None:
+                routes[asn] = route
+        return routes
+
+    def paths_to(
+        self,
+        origin: int,
+        vantage_points: Iterable[int],
+        route_class: RouteClass = RouteClass(),
+    ) -> dict[int, tuple[int, ...]]:
+        """AS paths from each vantage point toward ``origin``.
+
+        Vantage points with no route (e.g. the announcement was filtered on
+        every valley-free path to them) are absent from the result.
+        """
+        vantage_points = list(vantage_points)
+        routes = self.propagate(origin, route_class, targets=vantage_points)
+        return {
+            vp: routes[vp].path for vp in vantage_points if vp in routes
+        }
+
+    # -- phase 1: customer routes -------------------------------------------
+
+    def _customer_routes(
+        self, origin: int, route_class: RouteClass
+    ) -> dict[int, Route]:
+        routes: dict[int, Route] = {
+            origin: Route(RouteKind.ORIGIN, (origin,))
+        }
+        frontier = [origin]
+        filtered = route_class.rpki_invalid or route_class.irr_invalid
+        while frontier:
+            # children proposing a route to each not-yet-routed provider
+            candidates: dict[int, list[int]] = {}
+            for child in frontier:
+                for provider in self._providers[child]:
+                    if provider in routes:
+                        continue
+                    candidates.setdefault(provider, []).append(child)
+            frontier = []
+            for provider, children in candidates.items():
+                policy = self._policies[provider]
+                if filtered:
+                    # A provider may filter some customer sessions but not
+                    # others (partial Action 1 coverage): take the lowest-
+                    # ASN child whose session passes the import policy.
+                    children = [
+                        child
+                        for child in children
+                        if policy.accepts(
+                            route_class,
+                            NeighborKind.CUSTOMER,
+                            neighbor=child,
+                            importer=provider,
+                        )
+                    ]
+                    if not children:
+                        continue
+                child = min(children)
+                routes[provider] = Route(
+                    RouteKind.CUSTOMER, (provider,) + routes[child].path
+                )
+                frontier.append(provider)
+        return routes
+
+    # -- phase 2: peer routes -------------------------------------------------
+
+    def _peer_routes(
+        self, routes: dict[int, Route], route_class: RouteClass
+    ) -> None:
+        # Only ASes holding customer/origin routes export over peer links.
+        candidates: dict[int, tuple[int, int]] = {}
+        for holder, route in routes.items():
+            if route.kind not in (RouteKind.ORIGIN, RouteKind.CUSTOMER):
+                continue
+            key = (route.length, holder)
+            for peer in self._peers[holder]:
+                if peer in routes:
+                    continue
+                best = candidates.get(peer)
+                if best is None or key < best:
+                    candidates[peer] = key
+        for peer, (_, holder) in candidates.items():
+            policy = self._policies[peer]
+            if not policy.accepts(route_class, NeighborKind.PEER):
+                continue
+            routes[peer] = Route(RouteKind.PEER, (peer,) + routes[holder].path)
+
+    # -- phase 3: provider routes (lazy) --------------------------------------
+
+    def _provider_route(
+        self,
+        asn: int,
+        routes: dict[int, Route],
+        route_class: RouteClass,
+        memo: dict[int, Route | None],
+    ) -> Route | None:
+        if asn in memo:
+            return memo[asn]
+        # Guard against provider cycles in pathological topologies: mark
+        # in-progress as unreachable; a cyclic chain cannot yield a route.
+        memo[asn] = None
+        policy = self._policies[asn]
+        if not policy.accepts(route_class, NeighborKind.PROVIDER):
+            return None
+        best: tuple[int, int] | None = None
+        best_route: Route | None = None
+        for provider in self._providers[asn]:
+            provider_route = routes.get(provider)
+            if provider_route is None:
+                provider_route = self._provider_route(
+                    provider, routes, route_class, memo
+                )
+            if provider_route is None:
+                continue
+            key = (provider_route.length, provider)
+            if best is None or key < best:
+                best = key
+                best_route = provider_route
+        if best_route is None:
+            return None
+        result = Route(RouteKind.PROVIDER, (asn,) + best_route.path)
+        memo[asn] = result
+        return result

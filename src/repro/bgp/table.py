@@ -1,0 +1,119 @@
+"""Routing-table derivations: the prefix2as dataset (CAIDA substitute).
+
+CAIDA's Routeviews prefix2as files map each routed prefix to the origin
+AS(es) observed at the collectors.  The paper uses them for routed address
+space accounting (Figures 4b and 6) and registration completeness
+(Finding 7.0).  We derive the same mapping from a :class:`RibSnapshot` and
+serialise it in the upstream tab-separated format
+(``<network>\t<length>\t<asn[,asn...]>``).
+"""
+
+from __future__ import annotations
+
+from repro.bgp.collector import RibSnapshot
+from repro.errors import DatasetError
+from repro.net.prefix import Prefix, aggregate_address_count
+
+__all__ = [
+    "Prefix2AS",
+    "serialize_prefix2as",
+    "parse_prefix2as",
+]
+
+
+class Prefix2AS:
+    """An immutable prefix → origin-AS mapping snapshot."""
+
+    def __init__(self, origins: dict[Prefix, frozenset[int]]):
+        self._origins = dict(origins)
+        self._by_origin: dict[int, list[Prefix]] | None = None
+
+    @classmethod
+    def from_rib(cls, snapshot: RibSnapshot) -> "Prefix2AS":
+        """Build the mapping from everything visible at the collectors."""
+        origins: dict[Prefix, set[int]] = {}
+        for group in snapshot.groups:
+            if not group.paths:
+                continue
+            for prefix in group.prefixes:
+                origins.setdefault(prefix, set()).add(group.origin)
+        return cls({p: frozenset(o) for p, o in origins.items()})
+
+    def origins_of(self, prefix: Prefix) -> frozenset[int]:
+        """Observed origin ASes for ``prefix`` (empty if unrouted)."""
+        return self._origins.get(prefix, frozenset())
+
+    @property
+    def prefixes(self) -> list[Prefix]:
+        """All routed prefixes in address order."""
+        return sorted(self._origins)
+
+    def _origin_index(self) -> dict[int, list[Prefix]]:
+        if self._by_origin is None:
+            index: dict[int, list[Prefix]] = {}
+            for prefix, origins in self._origins.items():
+                for origin in origins:
+                    index.setdefault(origin, []).append(prefix)
+            self._by_origin = index
+        return self._by_origin
+
+    def prefixes_of(self, asn: int) -> list[Prefix]:
+        """Prefixes originated by ``asn``."""
+        return sorted(self._origin_index().get(asn, []))
+
+    @property
+    def origin_asns(self) -> list[int]:
+        """All ASNs that originate at least one prefix."""
+        return sorted(self._origin_index())
+
+    def address_space_of(self, asns: frozenset[int] | set[int]) -> int:
+        """Distinct IPv4 addresses originated by the given ASes."""
+        index = self._origin_index()
+        prefixes = [
+            prefix
+            for asn in asns
+            for prefix in index.get(asn, [])
+            if prefix.version == 4
+        ]
+        return aggregate_address_count(prefixes)
+
+    @property
+    def total_address_space(self) -> int:
+        """Distinct IPv4 addresses in the whole table."""
+        return aggregate_address_count(
+            prefix for prefix in self._origins if prefix.version == 4
+        )
+
+    def __len__(self) -> int:
+        return len(self._origins)
+
+
+def serialize_prefix2as(mapping: Prefix2AS) -> str:
+    """Render the CAIDA tab-separated prefix2as format."""
+    lines = []
+    for prefix in mapping.prefixes:
+        origins = ",".join(str(asn) for asn in sorted(mapping.origins_of(prefix)))
+        lines.append(f"{prefix.network_address}\t{prefix.length}\t{origins}")
+    return "\n".join(lines) + "\n"
+
+
+def parse_prefix2as(text: str) -> Prefix2AS:
+    """Parse the format produced by :func:`serialize_prefix2as`."""
+    origins: dict[Prefix, frozenset[int]] = {}
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        fields = line.split("\t")
+        if len(fields) != 3:
+            raise DatasetError(f"bad prefix2as record at line {line_number}")
+        network, length_text, asn_text = fields
+        try:
+            prefix = Prefix.parse(f"{network}/{int(length_text)}")
+            asns = frozenset(int(a) for a in asn_text.split(","))
+        except ValueError as exc:
+            raise DatasetError(
+                f"bad prefix2as record at line {line_number}: {line!r}"
+            ) from exc
+        origins[prefix] = asns
+    return Prefix2AS(origins)

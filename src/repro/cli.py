@@ -1,0 +1,166 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands::
+
+    report     build a world and print the ecosystem report
+    reproduce  print every paper table/figure
+    export     write all datasets of a world to a directory
+    audit      list unconformant member organisations
+    hijack     run one hijack simulation and report capture
+    ready      check whether an AS meets the MANRS requirements
+
+All commands accept ``--scale`` and ``--seed``; worlds are deterministic
+per pair.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro import experiments as ex
+from repro.core.report import build_report, render_report
+from repro.datasets.store import export_world
+from repro.scenario.build import build_world
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Mind Your MANRS' (IMC 2022)",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=0.2,
+        help="world size multiplier (1.0 = paper-shaped ~10k ASes)",
+    )
+    parser.add_argument("--seed", type=int, default=42, help="world seed")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("report", help="print the ecosystem report")
+    sub.add_parser("reproduce", help="print every paper table/figure")
+    export = sub.add_parser("export", help="write datasets to a directory")
+    export.add_argument("directory", help="output directory")
+    sub.add_parser("audit", help="list unconformant member organisations")
+    hijack = sub.add_parser("hijack", help="simulate one origin hijack")
+    hijack.add_argument(
+        "--sub-prefix", action="store_true",
+        help="announce a more-specific instead of the exact prefix",
+    )
+    hijack.add_argument(
+        "--protected", action="store_true",
+        help="victim has a ROA (hijack becomes RPKI Invalid)",
+    )
+    ready = sub.add_parser(
+        "ready", help="check whether an AS meets the MANRS requirements"
+    )
+    ready.add_argument("asn", type=int, help="AS number to evaluate")
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    world = build_world(scale=args.scale, seed=args.seed)
+
+    if args.command == "report":
+        print(render_report(build_report(world)))
+    elif args.command == "reproduce":
+        sections = [
+            ex.fig2_growth.render(ex.fig2_growth.run(world)),
+            ex.fig4_participation.render(ex.fig4_participation.run(world)),
+            ex.f70_completeness.render(ex.f70_completeness.run(world)),
+            ex.fig5_origination.render(ex.fig5_origination.run(world)),
+            ex.f83_action4.render(ex.f83_action4.run(world)),
+            ex.tab1_casestudies.render(ex.tab1_casestudies.run(world)),
+            ex.f87_stability.render(ex.f87_stability.run(world)),
+            ex.fig6_saturation.render(ex.fig6_saturation.run(world)),
+            ex.fig7_filtering.render(ex.fig7_filtering.run(world)),
+            ex.fig8_unconformant.render(ex.fig8_unconformant.run(world)),
+            ex.tab2_action1.render(ex.tab2_action1.run(world)),
+            ex.fig9_preference.render(ex.fig9_preference.run(world)),
+        ]
+        print("\n\n".join(sections))
+    elif args.command == "export":
+        path = export_world(world, args.directory)
+        print(f"datasets written to {path}")
+    elif args.command == "audit":
+        _audit(world)
+    elif args.command == "hijack":
+        _hijack(world, sub_prefix=args.sub_prefix, protected=args.protected)
+    elif args.command == "ready":
+        from repro.core.readiness import check_readiness, render_readiness
+
+        if args.asn not in world.topology:
+            print(f"AS{args.asn} is not in this world", file=sys.stderr)
+            return 1
+        print(render_readiness(check_readiness(world, args.asn)))
+    return 0
+
+
+def _audit(world) -> None:
+    from repro.core.conformance import (
+        is_action4_conformant,
+        origination_stats,
+    )
+    from repro.manrs.actions import Program
+
+    stats = origination_stats(world.ihr)
+    count = 0
+    for participant in world.manrs.participants:
+        if participant.joined > world.snapshot_date:
+            continue
+        if participant.program not in (Program.ISP, Program.CDN):
+            continue
+        bad = [
+            asn
+            for asn in participant.asns
+            if asn in stats
+            and not is_action4_conformant(stats[asn], participant.program)
+        ]
+        if bad:
+            count += 1
+            org = world.topology.get_org(participant.org_id)
+            asn_text = ", ".join(
+                f"AS{a} ({stats[a].og_conformant:.0f}%)" for a in bad
+            )
+            print(f"{org.name} [{participant.program.value}]: {asn_text}")
+    print(f"-- {count} organisations unconformant to Action 4")
+
+
+def _hijack(world, sub_prefix: bool, protected: bool) -> None:
+    import numpy as np
+
+    from repro.bgp.announcement import Announcement
+    from repro.bgp.hijack import HijackKind, simulate_hijack
+    from repro.bgp.policy import RouteClass
+    from repro.topology.classify import SizeClass
+
+    rng = np.random.default_rng(world.seed)
+    stubs = [
+        asn
+        for asn, size in world.size_of.items()
+        if size is SizeClass.SMALL and world.originations.get(asn)
+    ]
+    victim_asn, attacker = (int(a) for a in rng.choice(stubs, 2, replace=False))
+    victim = Announcement(world.originations[victim_asn][0].prefix, victim_asn)
+    outcome = simulate_hijack(
+        world.engine,
+        victim,
+        attacker,
+        world.vantage_points,
+        kind=HijackKind.SUB_PREFIX if sub_prefix else HijackKind.EXACT_PREFIX,
+        hijack_route_class=RouteClass(rpki_invalid=protected),
+    )
+    print(
+        f"AS{attacker} hijacks {victim} "
+        f"({outcome.kind.value}, victim {'ROA-protected' if protected else 'unprotected'}): "
+        f"{100 * outcome.capture_fraction:.1f}% of vantage points captured"
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

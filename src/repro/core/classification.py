@@ -1,0 +1,42 @@
+"""Prefix-origin classification against MANRS requirements (§6.1, §6.4).
+
+The paper's conformance predicate (§6.4):
+
+* a prefix-origin is **MANRS-conformant** when its RPKI status is Valid,
+  or its IRR status is Valid or Invalid-length (the IRR has no maxLength
+  attribute, so more-specific announcements of a registered block are
+  accepted — §3's traffic-engineering allowance);
+* it is **MANRS-unconformant** when it is RPKI Invalid, or RPKI NotFound
+  *and* IRR Invalid.
+
+A pair that is NotFound in both registries is neither: it counts against
+Action 4 conformance (Formula 3's numerator excludes it) but is not
+penalised by Action 1's unconformance measure (Formula 6).
+
+The two predicates are *not* mutually exclusive — an RPKI-Invalid route
+whose IRR object is Valid is conformant for Action 4 (the paper accepts
+either registry) yet unconformant for Action 1 (ROV-filtering networks
+drop it regardless).  The predicates feed different formulas, so the
+overlap is intentional and faithful to §6.4's definitions.
+"""
+
+from __future__ import annotations
+
+from repro.irr.validation import IRRStatus
+from repro.rpki.rov import RPKIStatus
+
+__all__ = ["is_conformant", "is_unconformant"]
+
+
+def is_conformant(rpki: RPKIStatus, irr: IRRStatus) -> bool:
+    """True if the prefix-origin satisfies the MANRS Action 4 criterion."""
+    if rpki is RPKIStatus.VALID:
+        return True
+    return irr in (IRRStatus.VALID, IRRStatus.INVALID_LENGTH)
+
+
+def is_unconformant(rpki: RPKIStatus, irr: IRRStatus) -> bool:
+    """True if the prefix-origin is affirmatively MANRS-unconformant."""
+    if rpki.is_invalid:
+        return True
+    return rpki is RPKIStatus.NOT_FOUND and irr is IRRStatus.INVALID_ORIGIN

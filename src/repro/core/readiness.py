@@ -1,0 +1,125 @@
+"""MANRS membership readiness check.
+
+§12: "We will make our analysis code available ... to non-MANRS networks
+for checking if they meet the requirements to join MANRS."  This module
+is that check: given any AS in a world (member or not), evaluate it
+against the mandatory ISP-program actions the paper measures (Action 4
+origination, Action 1 filtering) plus the Action 3 contact requirement,
+and report exactly what blocks admission.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.classification import is_conformant
+from repro.core.conformance import (
+    is_action1_fully_conformant,
+    is_action4_conformant,
+    origination_stats,
+    propagation_stats,
+)
+from repro.manrs.actions import Program, action4_threshold
+from repro.manrs.contacts import PeeringDBLike, is_action3_conformant
+from repro.scenario.world import World
+
+__all__ = ["ReadinessReport", "check_readiness", "render_readiness"]
+
+
+@dataclass(frozen=True)
+class ReadinessReport:
+    """Would this AS pass the mandatory MANRS ISP actions today?"""
+
+    asn: int
+    already_member: bool
+    #: Action 4: percent of originated prefixes conformant, and verdict.
+    origination_pct: float
+    action4_ok: bool
+    unregistered_prefixes: tuple[str, ...]
+    #: Action 1: unconformant customer announcements propagated.
+    customer_unconformant: int
+    action1_ok: bool
+    #: Action 3: contact information present and fresh.
+    action3_ok: bool
+    blockers: tuple[str, ...] = field(default_factory=tuple)
+
+    @property
+    def ready(self) -> bool:
+        """True when every mandatory action passes."""
+        return self.action4_ok and self.action1_ok and self.action3_ok
+
+
+def check_readiness(
+    world: World,
+    asn: int,
+    peeringdb: PeeringDBLike | None = None,
+    program: Program = Program.ISP,
+) -> ReadinessReport:
+    """Evaluate one AS against the program's mandatory actions."""
+    og_stats = origination_stats(world.ihr).get(asn)
+    pg_stats = propagation_stats(world.ihr).get(asn)
+    peeringdb = peeringdb or PeeringDBLike()
+
+    action4_ok = is_action4_conformant(og_stats, program)
+    action1_ok = is_action1_fully_conformant(pg_stats)
+    action3_ok = is_action3_conformant(
+        asn, world.irr, peeringdb, world.snapshot_date
+    )
+    unregistered = tuple(
+        str(record.prefix)
+        for record in world.ihr.records_of(asn)
+        if not is_conformant(record.rpki, record.irr)
+    )
+    blockers: list[str] = []
+    if not action4_ok:
+        threshold = action4_threshold(program)
+        pct = og_stats.og_conformant if og_stats else 0.0
+        blockers.append(
+            f"Action 4: only {pct:.1f}% of originated prefixes are "
+            f"IRR/RPKI-valid (needs {threshold:.0f}%); fix: "
+            + ", ".join(unregistered[:5])
+        )
+    if not action1_ok and pg_stats is not None:
+        blockers.append(
+            f"Action 1: {pg_stats.customer_unconformant} unconformant "
+            "customer announcements propagated; deploy prefix filters on "
+            "customer sessions"
+        )
+    if not action3_ok:
+        blockers.append(
+            "Action 3: no fresh contact information in PeeringDB or the IRR"
+        )
+    return ReadinessReport(
+        asn=asn,
+        already_member=world.is_member(asn),
+        origination_pct=og_stats.og_conformant if og_stats else 100.0,
+        action4_ok=action4_ok,
+        unregistered_prefixes=unregistered,
+        customer_unconformant=(
+            pg_stats.customer_unconformant if pg_stats else 0
+        ),
+        action1_ok=action1_ok,
+        action3_ok=action3_ok,
+        blockers=tuple(blockers),
+    )
+
+
+def render_readiness(report: ReadinessReport) -> str:
+    """Human-readable readiness summary."""
+    status = "READY to join MANRS" if report.ready else "NOT ready"
+    if report.already_member:
+        status += " (already a member)"
+    lines = [
+        f"AS{report.asn}: {status}",
+        f"  Action 4 (origination): "
+        f"{'pass' if report.action4_ok else 'FAIL'} "
+        f"({report.origination_pct:.1f}% conformant)",
+        f"  Action 1 (filtering):   "
+        f"{'pass' if report.action1_ok else 'FAIL'} "
+        f"({report.customer_unconformant} unconformant customer routes)",
+        f"  Action 3 (contacts):    "
+        f"{'pass' if report.action3_ok else 'FAIL'}",
+    ]
+    for blocker in report.blockers:
+        lines.append(f"  -> {blocker}")
+    return "\n".join(lines)

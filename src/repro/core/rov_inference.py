@@ -1,0 +1,109 @@
+"""Active ROV-deployment inference (the §4.2 related-work methodology).
+
+Reuter et al. (2018) and successors infer ROV by announcing a *beacon
+pair* — one RPKI-Valid and one RPKI-Invalid prefix from the same origin —
+and checking which networks lose reachability to the invalid one.  The
+paper declines to use this method because it is hard to validate (§4.2)
+and conflates an AS's own filtering with its providers' (§11).
+
+This module implements the methodology against the simulator, where
+ground truth is known, so the error structure can actually be measured:
+an AS behind ROV-filtering providers loses the invalid beacon without
+deploying anything itself — the classic false positive.  Using beacons
+from several origins reduces, but does not eliminate, the effect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from repro.bgp.policy import ASPolicy, RouteClass
+from repro.bgp.propagation import PropagationEngine
+
+__all__ = ["InferenceQuality", "infer_rov", "evaluate_inference"]
+
+
+@dataclass(frozen=True)
+class InferenceQuality:
+    """Confusion statistics for one inference run."""
+
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+    true_negatives: int
+
+    @property
+    def precision(self) -> float:
+        """TP / (TP + FP); 1.0 when nothing was inferred positive."""
+        positives = self.true_positives + self.false_positives
+        return self.true_positives / positives if positives else 1.0
+
+    @property
+    def recall(self) -> float:
+        """TP / (TP + FN); 1.0 when nothing was actually positive."""
+        actual = self.true_positives + self.false_negatives
+        return self.true_positives / actual if actual else 1.0
+
+
+def infer_rov(
+    engine: PropagationEngine,
+    beacon_origins: Sequence[int],
+    targets: Iterable[int],
+    min_evidence: int = 1,
+) -> dict[int, bool]:
+    """Infer ROV deployment per target from beacon reachability.
+
+    For each beacon origin, announce a Valid and an Invalid prefix; a
+    target showing "Valid reachable, Invalid not" counts as one piece of
+    evidence.  A target is inferred ROV-deploying when at least
+    ``min_evidence`` beacons agree (and no beacon contradicts by
+    delivering the invalid route).
+    """
+    targets = list(targets)
+    evidence: dict[int, int] = {asn: 0 for asn in targets}
+    contradicted: set[int] = set()
+    for origin in beacon_origins:
+        valid_routes = engine.propagate(
+            origin, RouteClass(), targets=targets
+        )
+        invalid_routes = engine.propagate(
+            origin, RouteClass(rpki_invalid=True), targets=targets
+        )
+        for asn in targets:
+            if asn == origin:
+                continue
+            has_valid = asn in valid_routes
+            has_invalid = asn in invalid_routes
+            if has_invalid:
+                contradicted.add(asn)
+            elif has_valid:
+                evidence[asn] += 1
+    return {
+        asn: evidence[asn] >= min_evidence and asn not in contradicted
+        for asn in targets
+    }
+
+
+def evaluate_inference(
+    inferred: Mapping[int, bool],
+    policies: Mapping[int, ASPolicy],
+) -> InferenceQuality:
+    """Score an inference against the ground-truth policies."""
+    tp = fp = fn = tn = 0
+    for asn, verdict in inferred.items():
+        actual = policies[asn].rov if asn in policies else False
+        if verdict and actual:
+            tp += 1
+        elif verdict and not actual:
+            fp += 1
+        elif not verdict and actual:
+            fn += 1
+        else:
+            tn += 1
+    return InferenceQuality(
+        true_positives=tp,
+        false_positives=fp,
+        false_negatives=fn,
+        true_negatives=tn,
+    )

@@ -1,0 +1,78 @@
+"""Conformance stability over time (§8.5, Finding 8.7).
+
+Given a sequence of per-snapshot Action 4 verdicts for each AS, classify
+every AS as consistently conformant, consistently unconformant, or
+flapping, and report the counts the paper gives for its 12 weekly
+snapshots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Mapping, Sequence
+
+__all__ = ["StabilityClass", "StabilityReport", "conformance_stability"]
+
+
+class StabilityClass(str, Enum):
+    """Per-AS stability verdict across snapshots."""
+
+    ALWAYS_CONFORMANT = "always_conformant"
+    ALWAYS_UNCONFORMANT = "always_unconformant"
+    FLAPPING = "flapping"
+
+
+@dataclass(frozen=True)
+class StabilityReport:
+    """Aggregate stability statistics over a snapshot series."""
+
+    n_snapshots: int
+    classification: dict[int, StabilityClass]
+
+    def count(self, verdict: StabilityClass) -> int:
+        """Number of ASes in one stability class."""
+        return sum(1 for v in self.classification.values() if v is verdict)
+
+    @property
+    def always_conformant(self) -> int:
+        """ASes conformant in every snapshot."""
+        return self.count(StabilityClass.ALWAYS_CONFORMANT)
+
+    @property
+    def always_unconformant(self) -> int:
+        """ASes unconformant in every snapshot."""
+        return self.count(StabilityClass.ALWAYS_UNCONFORMANT)
+
+    @property
+    def flapping(self) -> int:
+        """ASes whose verdict changed between snapshots."""
+        return self.count(StabilityClass.FLAPPING)
+
+
+def conformance_stability(
+    snapshots: Sequence[Mapping[int, bool]],
+) -> StabilityReport:
+    """Classify ASes over a series of {asn: conformant} snapshots.
+
+    An AS missing from some snapshots is judged over the snapshots it
+    appears in (networks come and go from the routing table; the paper
+    dropped one snapshot for missing data).
+    """
+    if not snapshots:
+        raise ValueError("need at least one snapshot")
+    verdicts: dict[int, list[bool]] = {}
+    for snapshot in snapshots:
+        for asn, conformant in snapshot.items():
+            verdicts.setdefault(asn, []).append(bool(conformant))
+    classification: dict[int, StabilityClass] = {}
+    for asn, history in verdicts.items():
+        if all(history):
+            classification[asn] = StabilityClass.ALWAYS_CONFORMANT
+        elif not any(history):
+            classification[asn] = StabilityClass.ALWAYS_UNCONFORMANT
+        else:
+            classification[asn] = StabilityClass.FLAPPING
+    return StabilityReport(
+        n_snapshots=len(snapshots), classification=classification
+    )

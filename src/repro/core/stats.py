@@ -1,0 +1,81 @@
+"""Small statistics helpers shared by the analyses (CDFs, percentiles).
+
+The paper's figures are all empirical CDFs of per-AS percentages; these
+helpers keep the experiments free of repeated numpy boilerplate and make
+the test assertions readable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["CDF", "make_cdf"]
+
+
+@dataclass(frozen=True)
+class CDF:
+    """An empirical CDF over a finite sample."""
+
+    values: tuple[float, ...]  # sorted ascending
+
+    @property
+    def n(self) -> int:
+        """Sample size."""
+        return len(self.values)
+
+    def fraction_at_most(self, threshold: float) -> float:
+        """P(X <= threshold)."""
+        if not self.values:
+            return 0.0
+        return float(np.searchsorted(self.values, threshold, side="right")) / self.n
+
+    def fraction_above(self, threshold: float) -> float:
+        """P(X > threshold)."""
+        return 1.0 - self.fraction_at_most(threshold)
+
+    def percentile(self, q: float) -> float:
+        """The q-th percentile (0..100) of the sample."""
+        if not self.values:
+            raise ValueError("percentile of empty CDF")
+        return float(np.percentile(np.asarray(self.values), q))
+
+    @property
+    def median(self) -> float:
+        """The 50th percentile."""
+        return self.percentile(50.0)
+
+    @property
+    def maximum(self) -> float:
+        """Largest sample value."""
+        if not self.values:
+            raise ValueError("maximum of empty CDF")
+        return self.values[-1]
+
+    @property
+    def mean(self) -> float:
+        """Sample mean."""
+        if not self.values:
+            raise ValueError("mean of empty CDF")
+        return float(np.mean(self.values))
+
+    @property
+    def variance(self) -> float:
+        """Population variance (the §9.2 comparison statistic)."""
+        if not self.values:
+            raise ValueError("variance of empty CDF")
+        return float(np.var(self.values))
+
+    def series(self) -> list[tuple[float, float]]:
+        """(value, cumulative fraction) points for plotting/printing."""
+        return [
+            (value, (index + 1) / self.n)
+            for index, value in enumerate(self.values)
+        ]
+
+
+def make_cdf(values: Sequence[float]) -> CDF:
+    """Build a CDF from unsorted samples."""
+    return CDF(values=tuple(sorted(float(v) for v in values)))

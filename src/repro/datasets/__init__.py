@@ -1,0 +1,5 @@
+"""Dataset export/import (file-format round-trips for every input)."""
+
+from repro.datasets.store import DatasetBundle, export_world, load_bundle
+
+__all__ = ["DatasetBundle", "export_world", "load_bundle"]

@@ -1,0 +1,70 @@
+"""Shared plumbing for the per-figure experiment modules.
+
+Every experiment consumes a built :class:`~repro.scenario.world.World`,
+groups per-AS metrics into the paper's six populations (size class ×
+MANRS membership), and returns printable rows/series.  ``world_cache``
+memoises worlds by (scale, seed) so the benchmark suite builds each world
+once and times only the analyses.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, TypeVar
+
+from repro.core.stats import CDF, make_cdf
+from repro.scenario.build import build_world
+from repro.scenario.world import World
+from repro.topology.classify import SizeClass
+
+__all__ = [
+    "POPULATIONS",
+    "population_label",
+    "group_metric",
+    "world_cache",
+]
+
+T = TypeVar("T")
+
+#: The six populations of Figures 5/7/8, in the paper's legend order.
+POPULATIONS: tuple[tuple[SizeClass, bool], ...] = (
+    (SizeClass.SMALL, True),
+    (SizeClass.SMALL, False),
+    (SizeClass.MEDIUM, True),
+    (SizeClass.MEDIUM, False),
+    (SizeClass.LARGE, True),
+    (SizeClass.LARGE, False),
+)
+
+
+def population_label(size: SizeClass, member: bool) -> str:
+    """The paper's legend label, e.g. ``"large non-MANRS"``."""
+    return f"{size.value} {'MANRS' if member else 'non-MANRS'}"
+
+
+def group_metric(
+    world: World,
+    per_as: dict[int, T],
+    metric: Callable[[T], float],
+) -> dict[tuple[SizeClass, bool], CDF]:
+    """Group a per-AS statistic into per-population CDFs."""
+    members = world.members()
+    samples: dict[tuple[SizeClass, bool], list[float]] = {
+        population: [] for population in POPULATIONS
+    }
+    for asn, stats in per_as.items():
+        if asn not in world.topology:
+            continue
+        key = (world.size_of[asn], asn in members)
+        samples[key].append(metric(stats))
+    return {key: make_cdf(values) for key, values in samples.items()}
+
+
+_WORLDS: dict[tuple[float, int], World] = {}
+
+
+def world_cache(scale: float = 1.0, seed: int = 0) -> World:
+    """Build (once) and return the world for (scale, seed)."""
+    key = (scale, seed)
+    if key not in _WORLDS:
+        _WORLDS[key] = build_world(scale=scale, seed=seed)
+    return _WORLDS[key]

@@ -1,0 +1,34 @@
+"""Finding 7.0: organisation-level MANRS registration completeness."""
+
+from __future__ import annotations
+
+from repro.core.participation import CompletenessReport, registration_completeness
+from repro.scenario.world import World
+
+__all__ = ["run", "render"]
+
+
+def run(world: World) -> CompletenessReport:
+    """Compute Finding 7.0 at the world's snapshot date."""
+    return registration_completeness(
+        world.topology, world.manrs, world.prefix2as, world.snapshot_date
+    )
+
+
+def render(report: CompletenessReport) -> str:
+    """Summarise the completeness statistics."""
+    return "\n".join(
+        [
+            "Finding 7.0 — registration completeness",
+            f"member organisations:                      {report.total_orgs}",
+            f"registered all their ASNs:                 "
+            f"{report.all_asns_registered} ({report.pct_all_asns:.0f}%)",
+            f"announce space only via registered ASNs:   "
+            f"{report.all_space_via_registered} ({report.pct_all_space:.0f}%)",
+            f"announce some space from unregistered ASNs: {report.partial_announcers}",
+            f"announce only from unregistered ASNs:      "
+            f"{report.only_unregistered_announcers}",
+            f"unregistered ASNs all quiescent:           "
+            f"{report.quiescent_unregistered_only}",
+        ]
+    )

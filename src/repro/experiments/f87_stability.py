@@ -1,0 +1,53 @@
+"""Finding 8.7 / §8.5: conformance stability over weekly snapshots."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.stability import StabilityReport, conformance_stability
+from repro.scenario.timeline import (
+    PrefixChurn,
+    WeeklyConformance,
+    flagship_prefix_churn,
+    weekly_member_conformance,
+)
+from repro.scenario.world import World
+
+__all__ = ["StabilityResult", "run", "render"]
+
+
+@dataclass(frozen=True)
+class StabilityResult:
+    """The weekly series plus the paper's stability classification."""
+
+    weekly: WeeklyConformance
+    report: StabilityReport
+    #: Prefix-level churn of the top CDN originators (§8.5's CDN study).
+    cdn_churn: dict[int, PrefixChurn]
+
+
+def run(world: World, n_weeks: int = 12, seed: int = 0) -> StabilityResult:
+    """Generate weekly snapshots and classify member stability."""
+    weekly = weekly_member_conformance(world, n_weeks=n_weeks, seed=seed)
+    report = conformance_stability(weekly.verdicts)
+    churn = flagship_prefix_churn(world, n_weeks=n_weeks, seed=seed)
+    return StabilityResult(weekly=weekly, report=report, cdn_churn=churn)
+
+
+def render(result: StabilityResult) -> str:
+    """Summarise the stable/flapping split and CDN prefix churn."""
+    report = result.report
+    lines = [
+        f"Finding 8.7 — conformance stability over "
+        f"{report.n_snapshots} weekly snapshots",
+        f"consistently conformant:   {report.always_conformant}",
+        f"consistently unconformant: {report.always_unconformant}",
+        f"flapping:                  {report.flapping}",
+    ]
+    for index, churn in enumerate(result.cdn_churn.values(), start=1):
+        lines.append(
+            f"CDN{index} prefixes: {churn.stable} stable "
+            f"({churn.status_changes} changed status), "
+            f"{churn.withdrawn} withdrawn, {churn.added} new"
+        )
+    return "\n".join(lines)

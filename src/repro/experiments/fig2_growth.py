@@ -1,0 +1,23 @@
+"""Figure 2: growth of MANRS organisations and ASes, 2015–2022."""
+
+from __future__ import annotations
+
+from repro.scenario.timeline import GrowthPoint, Timeline
+from repro.scenario.world import World
+
+__all__ = ["run", "render"]
+
+
+def run(world: World) -> list[GrowthPoint]:
+    """The Figure 2 series: (year, member orgs, member ASes)."""
+    return Timeline(world).growth()
+
+
+def render(points: list[GrowthPoint]) -> str:
+    """Print the series as the paper's figure would tabulate it."""
+    lines = ["Figure 2 — MANRS growth", "year  organisations  ASes"]
+    for point in points:
+        lines.append(
+            f"{point.year}  {point.organizations:13d}  {point.asns:4d}"
+        )
+    return "\n".join(lines)

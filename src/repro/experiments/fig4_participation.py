@@ -1,0 +1,63 @@
+"""Figure 4: MANRS participation by RIR region over time.
+
+4a — member AS counts per RIR (the LACNIC/Brazil outreach wave);
+4b — percent of routed IPv4 address space announced by member ASes per
+RIR (the APNIC flagship-transit and ARIN CDN-program jumps).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.registry.rir import RIR
+from repro.scenario.timeline import Timeline
+from repro.scenario.world import World
+
+__all__ = ["Fig4Result", "run", "render"]
+
+
+@dataclass(frozen=True)
+class Fig4Result:
+    """Both panels of Figure 4."""
+
+    ases_by_rir: dict[RIR, list[tuple[int, int]]]
+    space_share_by_rir: dict[RIR, list[tuple[int, float]]]
+
+    def ases_in(self, rir: RIR, year: int) -> int:
+        """Member AS count for one (RIR, year)."""
+        return dict(self.ases_by_rir[rir])[year]
+
+    def share_in(self, rir: RIR, year: int) -> float:
+        """Member routed-space share (percent) for one (RIR, year)."""
+        return dict(self.space_share_by_rir[rir])[year]
+
+
+def run(world: World) -> Fig4Result:
+    """Compute both Figure 4 panels."""
+    timeline = Timeline(world)
+    return Fig4Result(
+        ases_by_rir=timeline.members_by_rir_series(),
+        space_share_by_rir=timeline.routed_share_series(),
+    )
+
+
+def render(result: Fig4Result) -> str:
+    """Tabulate both panels year × RIR."""
+    years = [year for year, _ in next(iter(result.ases_by_rir.values()))]
+    lines = ["Figure 4a — MANRS ASes per RIR"]
+    header = "year  " + "  ".join(f"{rir.value:>7}" for rir in RIR)
+    lines.append(header)
+    for i, year in enumerate(years):
+        row = f"{year}  " + "  ".join(
+            f"{result.ases_by_rir[rir][i][1]:7d}" for rir in RIR
+        )
+        lines.append(row)
+    lines.append("")
+    lines.append("Figure 4b — % routed IPv4 space announced by MANRS ASes")
+    lines.append(header)
+    for i, year in enumerate(years):
+        row = f"{year}  " + "  ".join(
+            f"{result.space_share_by_rir[rir][i][1]:7.2f}" for rir in RIR
+        )
+        lines.append(row)
+    return "\n".join(lines)

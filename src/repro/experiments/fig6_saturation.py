@@ -1,0 +1,27 @@
+"""Figure 6: RPKI-covered address space, MANRS vs non-MANRS, 2015–2022."""
+
+from __future__ import annotations
+
+from repro.scenario.timeline import SaturationPoint, Timeline
+from repro.scenario.world import World
+
+__all__ = ["run", "render"]
+
+
+def run(world: World) -> list[SaturationPoint]:
+    """The Figure 6 series."""
+    return Timeline(world).saturation_series()
+
+
+def render(points: list[SaturationPoint]) -> str:
+    """Tabulate the two saturation series."""
+    lines = [
+        "Figure 6 — RPKI saturation of routed address space",
+        "year  MANRS%  non-MANRS%",
+    ]
+    for point in points:
+        lines.append(
+            f"{point.year}  {point.manrs_saturation:6.1f}  "
+            f"{point.other_saturation:10.1f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,5 @@
+"""AS Hegemony metric (Fontugne et al.)."""
+
+from repro.hegemony.scores import DEFAULT_TRIM, global_hegemony, hegemony_scores
+
+__all__ = ["DEFAULT_TRIM", "global_hegemony", "hegemony_scores"]

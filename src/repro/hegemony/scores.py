@@ -1,0 +1,80 @@
+"""AS Hegemony scores (Fontugne, Shah & Aben, PAM 2018).
+
+For a destination prefix-origin, the *local hegemony* of an AS is the
+fraction of viewpoint paths toward that destination that traverse it,
+robustified by trimming a share of the viewpoint distribution at both ends
+(the original paper trims 10% to discount viewpoint bias).  Scores lie in
+[0, 1]; the origin AS trivially scores 1 and is therefore excluded here
+and handled by the IHR pipeline's prefix-origin dataset (§5.3).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.net.asn import strip_prepending
+
+__all__ = ["hegemony_scores", "global_hegemony", "DEFAULT_TRIM"]
+
+#: Trim fraction from each end of the viewpoint distribution.
+DEFAULT_TRIM = 0.1
+
+
+def hegemony_scores(
+    paths: Sequence[tuple[int, ...]],
+    trim: float = DEFAULT_TRIM,
+) -> dict[int, float]:
+    """Local hegemony of every transit AS over the given viewpoint paths.
+
+    Each path runs viewpoint-first, origin-last.  The viewpoint AS and the
+    origin AS are excluded (the former is monitor bias, the latter is the
+    trivial hegemony-1 case).  Returns only ASes with a non-zero trimmed
+    score.
+    """
+    if not 0 <= trim < 0.5:
+        raise ValueError(f"trim must be in [0, 0.5), got {trim}")
+    n_paths = len(paths)
+    if n_paths == 0:
+        return {}
+    appearances: dict[int, int] = {}
+    for path in paths:
+        stripped = strip_prepending(path)
+        for asn in set(stripped[1:-1]):
+            appearances[asn] = appearances.get(asn, 0) + 1
+    cut = math.floor(n_paths * trim)
+    kept = n_paths - 2 * cut
+    if kept <= 0:
+        return {}
+    scores: dict[int, float] = {}
+    for asn, count in appearances.items():
+        # Trimmed mean of an indicator vector: with c = count of ones,
+        # sorting puts the zeros first; cutting `cut` from each end leaves
+        # min(max(c - cut, 0), kept) ones.
+        ones_kept = min(max(count - cut, 0), kept)
+        score = ones_kept / kept
+        if score > 0:
+            scores[asn] = score
+    return scores
+
+
+def global_hegemony(
+    local_scores: Sequence[dict[int, float]],
+) -> dict[int, float]:
+    """Global AS hegemony: mean local hegemony over all destinations.
+
+    Fontugne et al. define an AS's global hegemony as the average of its
+    local hegemony over every routed destination (absent destinations
+    contribute 0).  Scores express how much of the Internet's routing
+    depends on an AS — the "thin bridges" of AS connectivity.
+    """
+    n_destinations = len(local_scores)
+    if n_destinations == 0:
+        return {}
+    totals: dict[int, float] = {}
+    for scores in local_scores:
+        for asn, score in scores.items():
+            totals[asn] = totals.get(asn, 0.0) + score
+    return {
+        asn: total / n_destinations for asn, total in totals.items()
+    }

@@ -1,0 +1,110 @@
+"""The IHR pipeline: collector RIBs + registries → analysis datasets.
+
+This reimplements the derivation the Internet Health Report performs
+(§5.3): classify every routed (prefix, origin) against the RPKI (RFC 6811)
+and the IRR, compute AS-Hegemony scores for the transit ASes on paths
+toward it, and emit the prefix-origin and transit datasets the paper's
+conformance and impact analyses consume.
+"""
+
+from __future__ import annotations
+
+from repro.bgp.collector import RibSnapshot
+from repro.hegemony.scores import DEFAULT_TRIM, hegemony_scores
+from repro.ihr.records import (
+    IHRDataset,
+    PrefixOriginRecord,
+    TransitGroup,
+    TransitInfo,
+)
+from repro.irr.database import IRRCollection, IRRDatabase
+from repro.irr.validation import validate_irr
+from repro.net.asn import strip_prepending
+from repro.rpki.rov import ROVValidator
+from repro.topology.model import ASTopology
+
+__all__ = ["build_ihr_dataset"]
+
+
+def build_ihr_dataset(
+    snapshot: RibSnapshot,
+    rov: ROVValidator,
+    irr: IRRCollection | IRRDatabase,
+    topology: ASTopology,
+    trim: float = DEFAULT_TRIM,
+) -> IHRDataset:
+    """Build both IHR tables from one collector snapshot.
+
+    Vantage-point paths are identical for every prefix in a
+    :class:`~repro.bgp.collector.RouteGroup`, so hegemony and the
+    learned-from-customer flags are computed once per group.
+    """
+    prefix_origins: list[PrefixOriginRecord] = []
+    transit_groups: list[TransitGroup] = []
+    # Materialise customer sets once: ASTopology.customers_of copies a
+    # frozenset per call, far too slow for millions of path positions.
+    customers_of = {asn: topology.customers_of(asn) for asn in topology.asns}
+    for group in snapshot.groups:
+        if not group.paths:
+            continue  # invisible announcements never reach the IHR
+        statuses = tuple(
+            (rov.validate(prefix, group.origin), validate_irr(irr, prefix, group.origin))
+            for prefix in group.prefixes
+        )
+        visibility = len(group.paths)
+        for prefix, (rpki_status, irr_status) in zip(group.prefixes, statuses):
+            prefix_origins.append(
+                PrefixOriginRecord(
+                    prefix=prefix,
+                    origin=group.origin,
+                    rpki=rpki_status,
+                    irr=irr_status,
+                    visibility=visibility,
+                )
+            )
+        paths = list(group.paths.values())
+        scores = hegemony_scores(paths, trim=trim)
+        if not scores:
+            continue
+        learned_from_customer = _customer_learning(paths, customers_of)
+        transits = {
+            asn: TransitInfo(
+                hegemony=score,
+                from_customer=learned_from_customer.get(asn, False),
+            )
+            for asn, score in scores.items()
+        }
+        transit_groups.append(
+            TransitGroup(
+                origin=group.origin,
+                prefixes=group.prefixes,
+                statuses=statuses,
+                transits=transits,
+                visibility=visibility,
+            )
+        )
+    return IHRDataset(prefix_origins=prefix_origins, transit_groups=transit_groups)
+
+
+def _customer_learning(
+    paths: list[tuple[int, ...]],
+    customers_of: dict[int, frozenset[int]],
+) -> dict[int, bool]:
+    """For each on-path AS, did it learn the route from a direct customer?
+
+    On a path ``(vp, ..., t, next, ..., origin)`` the AS after ``t``
+    (toward the origin) is the neighbour ``t`` accepted the route from;
+    the flag is set when that neighbour is ``t``'s customer.  The
+    propagation engine gives every AS a single selected route, so the flag
+    is consistent across paths.
+    """
+    learned: dict[int, bool] = {}
+    for path in paths:
+        stripped = strip_prepending(path)
+        for position in range(1, len(stripped) - 1):
+            transit = stripped[position]
+            if transit in learned:
+                continue
+            toward_origin = stripped[position + 1]
+            learned[transit] = toward_origin in customers_of[transit]
+    return learned

@@ -1,0 +1,115 @@
+"""Record types of the Internet Health Report substitute.
+
+The paper consumes two IHR-derived tables (§5.3):
+
+* the **prefix-origin dataset** — one record per routed (prefix, origin)
+  with its RPKI and IRR statuses (origin hegemony is trivially 1);
+* the **transit dataset** — for each (prefix, origin), the transit ASes on
+  paths toward it with their hegemony scores.
+
+``TransitGroup`` batches the transit records of all prefixes sharing an
+(origin, filter-class) propagation outcome, since their paths — and hence
+their transit sets — are identical; :meth:`IHRDataset.iter_transits`
+expands them on demand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.irr.validation import IRRStatus
+from repro.net.prefix import Prefix
+from repro.rpki.rov import RPKIStatus
+
+__all__ = [
+    "PrefixOriginRecord",
+    "TransitInfo",
+    "TransitGroup",
+    "TransitRecord",
+    "IHRDataset",
+]
+
+
+@dataclass(frozen=True)
+class PrefixOriginRecord:
+    """One routed (prefix, origin) pair with validation statuses."""
+
+    prefix: Prefix
+    origin: int
+    rpki: RPKIStatus
+    irr: IRRStatus
+    #: Number of vantage points that saw the announcement.
+    visibility: int
+
+    @property
+    def hegemony(self) -> float:
+        """Origin hegemony is trivially 1 (every path ends at the origin)."""
+        return 1.0
+
+
+@dataclass(frozen=True)
+class TransitInfo:
+    """One transit AS's relationship to a propagation group."""
+
+    hegemony: float
+    #: True when this AS learned the route from one of its direct
+    #: customers (the Action 1 filtering scope).
+    from_customer: bool
+
+
+@dataclass(frozen=True)
+class TransitRecord:
+    """A fully expanded transit-dataset row."""
+
+    prefix: Prefix
+    origin: int
+    transit: int
+    rpki: RPKIStatus
+    irr: IRRStatus
+    hegemony: float
+    from_customer: bool
+
+
+@dataclass(frozen=True)
+class TransitGroup:
+    """Transit info shared by all prefixes of one (origin, class) group."""
+
+    origin: int
+    prefixes: tuple[Prefix, ...]
+    #: (rpki, irr) statuses aligned with ``prefixes``.
+    statuses: tuple[tuple[RPKIStatus, IRRStatus], ...]
+    transits: dict[int, TransitInfo]
+    #: Vantage points that saw the group's announcements.
+    visibility: int
+
+
+@dataclass
+class IHRDataset:
+    """The two IHR tables for one snapshot date."""
+
+    prefix_origins: list[PrefixOriginRecord]
+    transit_groups: list[TransitGroup]
+
+    def iter_transits(self) -> Iterator[TransitRecord]:
+        """Expand transit groups into per-(prefix, transit) rows."""
+        for group in self.transit_groups:
+            for prefix, (rpki, irr) in zip(group.prefixes, group.statuses):
+                for transit, info in group.transits.items():
+                    yield TransitRecord(
+                        prefix=prefix,
+                        origin=group.origin,
+                        transit=transit,
+                        rpki=rpki,
+                        irr=irr,
+                        hegemony=info.hegemony,
+                        from_customer=info.from_customer,
+                    )
+
+    def origins(self) -> set[int]:
+        """All ASNs originating at least one visible prefix."""
+        return {record.origin for record in self.prefix_origins}
+
+    def records_of(self, origin: int) -> list[PrefixOriginRecord]:
+        """Prefix-origin records originated by one AS."""
+        return [r for r in self.prefix_origins if r.origin == origin]

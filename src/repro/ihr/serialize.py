@@ -1,0 +1,146 @@
+"""IHR dataset serialisation (CSV, modelled on the IHR ROV API).
+
+The IHR exposes its ROV module as rows of prefix, origin AS, statuses,
+transit AS and hegemony (§5.3).  Serialising our datasets in the same
+tabular spirit lets users archive snapshots and diff them across runs —
+and lets the analyses run from files.
+"""
+
+from __future__ import annotations
+
+from repro.errors import DatasetError
+from repro.ihr.records import (
+    IHRDataset,
+    PrefixOriginRecord,
+    TransitGroup,
+    TransitInfo,
+)
+from repro.irr.validation import IRRStatus
+from repro.net.prefix import Prefix
+from repro.rpki.rov import RPKIStatus
+
+__all__ = ["serialize_ihr", "parse_ihr"]
+
+_PO_HEADER = "prefix,origin,rpki,irr,visibility"
+_TR_HEADER = "prefix,origin,rpki,irr,transit,hegemony,from_customer"
+_PO_SECTION = "# prefix-origin dataset"
+_TR_SECTION = "# transit dataset"
+
+
+def serialize_ihr(dataset: IHRDataset) -> str:
+    """Render both IHR tables into one two-section CSV document."""
+    lines = [_PO_SECTION, _PO_HEADER]
+    for record in dataset.prefix_origins:
+        lines.append(
+            f"{record.prefix},{record.origin},{record.rpki.value},"
+            f"{record.irr.value},{record.visibility}"
+        )
+    lines.append(_TR_SECTION)
+    lines.append(_TR_HEADER)
+    for row in dataset.iter_transits():
+        lines.append(
+            f"{row.prefix},{row.origin},{row.rpki.value},{row.irr.value},"
+            f"{row.transit},{row.hegemony:.6f},{int(row.from_customer)}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def parse_ihr(text: str) -> IHRDataset:
+    """Parse the document produced by :func:`serialize_ihr`.
+
+    Transit rows are regrouped by (origin, prefix set, statuses) so the
+    reconstructed dataset walks like the original; per-group visibility is
+    not stored in the transit section and is restored from the
+    prefix-origin records.
+    """
+    prefix_origins: list[PrefixOriginRecord] = []
+    transit_rows: list[tuple[Prefix, int, RPKIStatus, IRRStatus, int, float, bool]] = []
+    section = None
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        if line == _PO_SECTION:
+            section = "po"
+            continue
+        if line == _TR_SECTION:
+            section = "tr"
+            continue
+        if line in (_PO_HEADER, _TR_HEADER):
+            continue
+        fields = line.split(",")
+        try:
+            if section == "po":
+                if len(fields) != 5:
+                    raise ValueError("field count")
+                prefix_origins.append(
+                    PrefixOriginRecord(
+                        prefix=Prefix.parse(fields[0]),
+                        origin=int(fields[1]),
+                        rpki=RPKIStatus(fields[2]),
+                        irr=IRRStatus(fields[3]),
+                        visibility=int(fields[4]),
+                    )
+                )
+            elif section == "tr":
+                if len(fields) != 7:
+                    raise ValueError("field count")
+                transit_rows.append(
+                    (
+                        Prefix.parse(fields[0]),
+                        int(fields[1]),
+                        RPKIStatus(fields[2]),
+                        IRRStatus(fields[3]),
+                        int(fields[4]),
+                        float(fields[5]),
+                        bool(int(fields[6])),
+                    )
+                )
+            else:
+                raise ValueError("row before section header")
+        except ValueError as exc:
+            raise DatasetError(
+                f"bad IHR record at line {line_number}: {line!r}"
+            ) from exc
+
+    visibility_of = {
+        (record.prefix, record.origin): record.visibility
+        for record in prefix_origins
+    }
+    # Group transit rows back into per-(origin, transit-set) groups: rows
+    # of one original group share identical transit maps per prefix.
+    per_announcement: dict[
+        tuple[int, Prefix],
+        tuple[tuple[RPKIStatus, IRRStatus], dict[int, TransitInfo]],
+    ] = {}
+    for prefix, origin, rpki, irr, transit, hegemony, from_customer in transit_rows:
+        key = (origin, prefix)
+        if key not in per_announcement:
+            per_announcement[key] = ((rpki, irr), {})
+        per_announcement[key][1][transit] = TransitInfo(
+            hegemony=hegemony, from_customer=from_customer
+        )
+    by_signature: dict[
+        tuple[int, tuple[tuple[int, TransitInfo], ...]],
+        list[tuple[Prefix, tuple[RPKIStatus, IRRStatus]]],
+    ] = {}
+    for (origin, prefix), (statuses, transits) in per_announcement.items():
+        signature = (origin, tuple(sorted(transits.items())))
+        by_signature.setdefault(signature, []).append((prefix, statuses))
+    groups = []
+    for (origin, transit_items), members in sorted(
+        by_signature.items(), key=lambda item: (item[0][0], item[1][0][0])
+    ):
+        members.sort(key=lambda m: m[0])
+        prefixes = tuple(prefix for prefix, _ in members)
+        statuses = tuple(status for _, status in members)
+        groups.append(
+            TransitGroup(
+                origin=origin,
+                prefixes=prefixes,
+                statuses=statuses,
+                transits=dict(transit_items),
+                visibility=visibility_of.get((prefixes[0], origin), 0),
+            )
+        )
+    return IHRDataset(prefix_origins=prefix_origins, transit_groups=groups)

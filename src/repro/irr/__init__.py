@@ -1,0 +1,39 @@
+"""IRR substrate: RPSL objects, databases, as-set expansion, validation."""
+
+from repro.irr.asset import expand_as_set
+from repro.irr.database import IRRCollection, IRRDatabase
+from repro.irr.filtergen import FilterEntry, PrefixFilter, build_prefix_filter
+from repro.irr.objects import (
+    AsSetObject,
+    AutNumObject,
+    MntnerObject,
+    RouteObject,
+)
+from repro.irr.rpsl import (
+    parse_database,
+    parse_object,
+    parse_rpsl_blocks,
+    serialize_database,
+    serialize_object,
+)
+from repro.irr.validation import IRRStatus, validate_irr
+
+__all__ = [
+    "AsSetObject",
+    "AutNumObject",
+    "IRRCollection",
+    "IRRDatabase",
+    "IRRStatus",
+    "FilterEntry",
+    "PrefixFilter",
+    "build_prefix_filter",
+    "MntnerObject",
+    "RouteObject",
+    "expand_as_set",
+    "parse_database",
+    "parse_object",
+    "parse_rpsl_blocks",
+    "serialize_database",
+    "serialize_object",
+    "validate_irr",
+]

@@ -1,0 +1,53 @@
+"""as-set expansion.
+
+IXPs and cloud providers expand customer as-sets to decide which origin
+ASes to accept announcements from (§2.2 cites Google's and SIX's use of
+this).  Expansion must tolerate nested sets, missing members, and —
+because anyone can create an as-set referencing anything — reference
+cycles.
+"""
+
+from __future__ import annotations
+
+from repro.errors import RPSLError
+from repro.irr.database import IRRCollection, IRRDatabase
+
+__all__ = ["expand_as_set"]
+
+#: Nesting deeper than this is treated as a configuration error: real
+#: resolvers (bgpq4 etc.) also bound recursion.
+MAX_DEPTH = 32
+
+
+def expand_as_set(
+    registry: IRRCollection | IRRDatabase,
+    name: str,
+    strict: bool = False,
+) -> frozenset[int]:
+    """Resolve an as-set name to the full set of member ASNs.
+
+    Cycles are tolerated (each set is visited once).  Unknown nested sets
+    are skipped unless ``strict`` is true, in which case they raise
+    :class:`~repro.errors.RPSLError`.
+    """
+    result: set[int] = set()
+    visited: set[str] = set()
+    stack: list[tuple[str, int]] = [(name.upper(), 0)]
+    while stack:
+        current, depth = stack.pop()
+        if current in visited:
+            continue
+        visited.add(current)
+        if depth > MAX_DEPTH:
+            raise RPSLError(f"as-set nesting exceeds {MAX_DEPTH}: {name!r}")
+        as_set = registry.as_set(current)
+        if as_set is None:
+            if strict:
+                raise RPSLError(f"unknown as-set {current!r}")
+            continue
+        result.update(as_set.direct_asns)
+        for nested in as_set.nested_sets:
+            stack.append((nested.upper(), depth + 1))
+    if strict and name.upper() not in visited:
+        raise RPSLError(f"unknown as-set {name!r}")
+    return frozenset(result)

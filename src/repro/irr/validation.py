@@ -1,0 +1,54 @@
+"""IRR route validation (§6.1 of the paper).
+
+The paper classifies a BGP route against IRR route objects with the same
+procedure as RPKI ROV, treating each route object's own prefix length as
+its max-length (the IRR has no maxLength attribute):
+
+* **VALID** — an exact-prefix route object with matching origin exists;
+* **INVALID_LENGTH** — a covering route object with matching origin
+  exists, but the announcement is more specific than the object
+  (the traffic-engineering de-aggregation case §3 treats as conformant);
+* **INVALID_ORIGIN** — covering objects exist but none matches the origin
+  (the paper's "IRR Invalid");
+* **NOT_FOUND** — no covering route object.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from repro.irr.database import IRRCollection, IRRDatabase
+from repro.net.prefix import Prefix
+
+__all__ = ["IRRStatus", "validate_irr"]
+
+
+class IRRStatus(str, Enum):
+    """IRR route classification outcome."""
+
+    VALID = "valid"
+    INVALID_ORIGIN = "invalid_origin"
+    INVALID_LENGTH = "invalid_length"
+    NOT_FOUND = "not_found"
+
+    @property
+    def is_invalid_origin(self) -> bool:
+        """True only for the origin-mismatch flavour (the one MANRS
+        conformance penalises)."""
+        return self is IRRStatus.INVALID_ORIGIN
+
+
+def validate_irr(
+    registry: IRRCollection | IRRDatabase, prefix: Prefix, origin: int
+) -> IRRStatus:
+    """Classify one route against the registry's route objects."""
+    covering = registry.routes_covering(prefix)
+    if not covering:
+        return IRRStatus.NOT_FOUND
+    origin_match = False
+    for route_object in covering:
+        if route_object.origin == origin:
+            if route_object.prefix.length == prefix.length:
+                return IRRStatus.VALID
+            origin_match = True
+    return IRRStatus.INVALID_LENGTH if origin_match else IRRStatus.INVALID_ORIGIN

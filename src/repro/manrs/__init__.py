@@ -1,0 +1,52 @@
+"""MANRS: programs, actions, participant registry, recruitment model."""
+
+from repro.manrs.actions import (
+    ACTIONS,
+    CDN_ACTION4_MIN_VALID,
+    ISP_ACTION4_MIN_VALID,
+    Action,
+    Program,
+    action4_threshold,
+)
+from repro.manrs.contacts import (
+    ContactRecord,
+    PeeringDBLike,
+    is_action3_conformant,
+    populate_contacts,
+)
+from repro.manrs.recruitment import RecruitmentConfig, recruit
+from repro.manrs.sav import (
+    SpooferCampaign,
+    SpooferResult,
+    assign_sav_deployment,
+    run_spoofer_campaign,
+)
+from repro.manrs.registry import (
+    MANRSRegistry,
+    Participant,
+    parse_participants,
+    serialize_participants,
+)
+
+__all__ = [
+    "ACTIONS",
+    "Action",
+    "CDN_ACTION4_MIN_VALID",
+    "ContactRecord",
+    "PeeringDBLike",
+    "SpooferCampaign",
+    "SpooferResult",
+    "assign_sav_deployment",
+    "is_action3_conformant",
+    "populate_contacts",
+    "run_spoofer_campaign",
+    "ISP_ACTION4_MIN_VALID",
+    "MANRSRegistry",
+    "Participant",
+    "Program",
+    "RecruitmentConfig",
+    "action4_threshold",
+    "parse_participants",
+    "recruit",
+    "serialize_participants",
+]

@@ -1,0 +1,71 @@
+"""MANRS programs and actions (§2.4), with conformance thresholds.
+
+The paper evaluates Action 1 (route filtering) and Action 4 (route
+registration) of the ISP and CDN programs.  The thresholds encoded here
+come straight from §8.3/§9.3: ISPs must originate ≥90% IRR/RPKI-Valid
+prefixes, CDNs 100%; Action 1 full conformance means propagating zero
+MANRS-unconformant customer announcements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+__all__ = [
+    "Program",
+    "Action",
+    "ACTIONS",
+    "action4_threshold",
+    "ISP_ACTION4_MIN_VALID",
+    "CDN_ACTION4_MIN_VALID",
+]
+
+
+class Program(str, Enum):
+    """A MANRS program (membership category)."""
+
+    ISP = "isp"            # "MANRS for Network Operators"
+    CDN = "cdn"            # "MANRS for CDN and Cloud Providers"
+    IXP = "ixp"
+    VENDOR = "vendor"
+
+
+@dataclass(frozen=True)
+class Action:
+    """One MANRS action within a program."""
+
+    program: Program
+    number: int
+    title: str
+    mandatory: bool
+
+
+#: The action catalogue for the two programs the paper studies.
+ACTIONS: tuple[Action, ...] = (
+    Action(Program.ISP, 1, "Prevent propagation of incorrect routing information", True),
+    Action(Program.ISP, 2, "Prevent traffic with spoofed source IP addresses", False),
+    Action(Program.ISP, 3, "Maintain up-to-date contact information", True),
+    Action(Program.ISP, 4, "Register intended BGP announcements in IRR or RPKI", True),
+    Action(Program.CDN, 1, "Implement ingress filtering on peers and customers", True),
+    Action(Program.CDN, 2, "Prevent traffic with spoofed source IP addresses", True),
+    Action(Program.CDN, 3, "Maintain up-to-date contact information", True),
+    Action(Program.CDN, 4, "Register intended BGP advertisements in IRR or RPKI", True),
+    Action(Program.CDN, 5, "Encourage MANRS adoption among peers", True),
+    Action(Program.CDN, 6, "Provide monitoring tools to peers", False),
+)
+
+#: §8.3: "the MANRS ISP program states that its members must originate at
+#: least 90% IRR/RPKI Valid prefixes, while the MANRS CDN program requires
+#: 100%."
+ISP_ACTION4_MIN_VALID = 90.0
+CDN_ACTION4_MIN_VALID = 100.0
+
+
+def action4_threshold(program: Program) -> float:
+    """Minimum percentage of conformant originated prefixes for Action 4."""
+    if program is Program.ISP:
+        return ISP_ACTION4_MIN_VALID
+    if program is Program.CDN:
+        return CDN_ACTION4_MIN_VALID
+    raise ValueError(f"Action 4 threshold undefined for program {program}")

@@ -1,0 +1,145 @@
+"""MANRS Action 3: maintain up-to-date contact information.
+
+Action 3 requires members to keep working contact details "in IRR
+databases or PeeringDB" (§2.4).  The paper does not measure Action 3 (it
+focuses on 1 and 4); this module adds the missing conformance check as an
+extension: a PeeringDB-like contact registry, a freshness rule, and a
+verdict combining both sources.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import date, timedelta
+
+import numpy as np
+
+from repro.errors import DatasetError
+from repro.irr.database import IRRCollection, IRRDatabase
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # circular at runtime: scenario depends on manrs
+    from repro.scenario.world import World
+
+__all__ = [
+    "ContactRecord",
+    "PeeringDBLike",
+    "is_action3_conformant",
+    "populate_contacts",
+]
+
+#: Contacts older than this are considered stale (PeeringDB's own outreach
+#: asks for yearly review; we allow 1.5 years).
+MAX_CONTACT_AGE_DAYS = 540
+
+
+@dataclass(frozen=True)
+class ContactRecord:
+    """One network's contact entry in the PeeringDB-like registry."""
+
+    asn: int
+    noc_email: str
+    last_updated: date
+
+
+class PeeringDBLike:
+    """A minimal PeeringDB: per-ASN contact records."""
+
+    def __init__(self) -> None:
+        self._records: dict[int, ContactRecord] = {}
+
+    def upsert(self, record: ContactRecord) -> None:
+        """Create or replace the record for ``record.asn``."""
+        self._records[record.asn] = record
+
+    def get(self, asn: int) -> ContactRecord | None:
+        """The record for ``asn``, if any."""
+        return self._records.get(asn)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def serialize(self) -> str:
+        """CSV export (asn,email,last_updated)."""
+        lines = ["asn,noc_email,last_updated"]
+        for asn in sorted(self._records):
+            record = self._records[asn]
+            lines.append(
+                f"{asn},{record.noc_email},{record.last_updated.isoformat()}"
+            )
+        return "\n".join(lines) + "\n"
+
+    @classmethod
+    def parse(cls, text: str) -> "PeeringDBLike":
+        """Parse the CSV produced by :meth:`serialize`."""
+        lines = text.splitlines()
+        if not lines or lines[0].strip() != "asn,noc_email,last_updated":
+            raise DatasetError("missing contact CSV header")
+        registry = cls()
+        for line_number, line in enumerate(lines[1:], start=2):
+            line = line.strip()
+            if not line:
+                continue
+            fields = line.split(",")
+            if len(fields) != 3:
+                raise DatasetError(f"bad contact record at line {line_number}")
+            try:
+                registry.upsert(
+                    ContactRecord(
+                        asn=int(fields[0]),
+                        noc_email=fields[1],
+                        last_updated=date.fromisoformat(fields[2]),
+                    )
+                )
+            except ValueError as exc:
+                raise DatasetError(
+                    f"bad contact record at line {line_number}"
+                ) from exc
+        return registry
+
+
+def is_action3_conformant(
+    asn: int,
+    irr: IRRCollection | IRRDatabase,
+    peeringdb: PeeringDBLike,
+    as_of: date,
+    max_age_days: int = MAX_CONTACT_AGE_DAYS,
+) -> bool:
+    """Action 3 verdict: a fresh contact in PeeringDB *or* a contactable
+    aut-num object in the IRR."""
+    record = peeringdb.get(asn)
+    if record is not None:
+        if (as_of - record.last_updated).days <= max_age_days:
+            return True
+    aut_num = irr.aut_num(asn)
+    if aut_num is None or not aut_num.has_contact:
+        return False
+    if aut_num.last_modified is None:
+        return False
+    return (as_of - aut_num.last_modified).days <= max_age_days
+
+
+def populate_contacts(world: "World", seed: int = 0) -> PeeringDBLike:
+    """Generate PeeringDB-like contacts for a world.
+
+    Members keep contacts fresher (joining MANRS forces a contact
+    review); the long tail of non-members has older or missing entries.
+    """
+    rng = np.random.default_rng(seed)
+    registry = PeeringDBLike()
+    snapshot = world.snapshot_date
+    for asn in world.topology.asns:
+        member = world.is_member(asn)
+        has_record = rng.random() < (0.9 if member else 0.55)
+        if not has_record:
+            continue
+        max_age = 400 if member else 1400
+        age_days = int(rng.integers(0, max_age))
+        registry.upsert(
+            ContactRecord(
+                asn=asn,
+                noc_email=f"noc@as{asn}.example",
+                last_updated=snapshot - timedelta(days=age_days),
+            )
+        )
+    return registry

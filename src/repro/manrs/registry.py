@@ -1,0 +1,159 @@
+"""The MANRS participant registry (the paper's §5.2 datasets).
+
+Organisations join a program on a date and register a *subset* of their
+ASNs — MANRS lets members choose which ASNs are subject to the
+requirements, which is exactly what Finding 7.0 quantifies.  The registry
+answers both "current participant list" (the MANRS ISP/CDN datasets) and
+"who was a member when" (the historical MANRS dataset ISOC provided the
+authors).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import date
+
+from repro.errors import DatasetError
+from repro.manrs.actions import Program
+
+__all__ = ["Participant", "MANRSRegistry", "serialize_participants", "parse_participants"]
+
+
+@dataclass(frozen=True)
+class Participant:
+    """One organisation's membership in one MANRS program."""
+
+    org_id: str
+    program: Program
+    asns: tuple[int, ...]
+    joined: date
+
+    def __post_init__(self) -> None:
+        if not self.asns:
+            raise DatasetError(f"participant {self.org_id} registers no ASNs")
+
+
+class MANRSRegistry:
+    """All participants across programs, with membership-date queries."""
+
+    def __init__(self) -> None:
+        self._participants: list[Participant] = []
+        self._by_asn: dict[int, list[Participant]] = {}
+
+    def add(self, participant: Participant) -> None:
+        """Register a participant (one org may join several programs)."""
+        for existing in self._participants:
+            if (
+                existing.org_id == participant.org_id
+                and existing.program == participant.program
+            ):
+                raise DatasetError(
+                    f"{participant.org_id} already in program "
+                    f"{participant.program.value}"
+                )
+        self._participants.append(participant)
+        for asn in participant.asns:
+            self._by_asn.setdefault(asn, []).append(participant)
+
+    @property
+    def participants(self) -> tuple[Participant, ...]:
+        """All participants in registration order."""
+        return tuple(self._participants)
+
+    def participants_in(self, program: Program) -> list[Participant]:
+        """Participants of one program."""
+        return [p for p in self._participants if p.program is program]
+
+    def is_member(self, asn: int, as_of: date | None = None) -> bool:
+        """True if ``asn`` is registered in any program on ``as_of``."""
+        memberships = self._by_asn.get(asn, [])
+        if as_of is None:
+            return bool(memberships)
+        return any(p.joined <= as_of for p in memberships)
+
+    def program_of(self, asn: int, as_of: date | None = None) -> Program | None:
+        """The program an ASN is registered under (ISP wins ties)."""
+        memberships = [
+            p
+            for p in self._by_asn.get(asn, [])
+            if as_of is None or p.joined <= as_of
+        ]
+        if not memberships:
+            return None
+        for program in (Program.ISP, Program.CDN, Program.IXP, Program.VENDOR):
+            if any(p.program is program for p in memberships):
+                return program
+        return memberships[0].program
+
+    def member_asns(
+        self, as_of: date | None = None, program: Program | None = None
+    ) -> frozenset[int]:
+        """All registered ASNs, optionally filtered by date and program."""
+        asns: set[int] = set()
+        for participant in self._participants:
+            if program is not None and participant.program is not program:
+                continue
+            if as_of is not None and participant.joined > as_of:
+                continue
+            asns.update(participant.asns)
+        return frozenset(asns)
+
+    def member_orgs(self, as_of: date | None = None) -> frozenset[str]:
+        """Org ids with at least one membership on ``as_of``."""
+        return frozenset(
+            p.org_id
+            for p in self._participants
+            if as_of is None or p.joined <= as_of
+        )
+
+    def participant_for_org(
+        self, org_id: str, program: Program | None = None
+    ) -> Participant | None:
+        """The participant record of one org (optionally one program)."""
+        for participant in self._participants:
+            if participant.org_id == org_id and (
+                program is None or participant.program is program
+            ):
+                return participant
+        return None
+
+
+def serialize_participants(registry: MANRSRegistry) -> str:
+    """Render the participant list as CSV (org,program,joined,asns)."""
+    lines = ["org_id,program,joined,asns"]
+    for participant in registry.participants:
+        asns = ";".join(str(asn) for asn in participant.asns)
+        lines.append(
+            f"{participant.org_id},{participant.program.value},"
+            f"{participant.joined.isoformat()},{asns}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def parse_participants(text: str) -> MANRSRegistry:
+    """Parse the CSV produced by :func:`serialize_participants`."""
+    lines = text.splitlines()
+    if not lines or lines[0].strip() != "org_id,program,joined,asns":
+        raise DatasetError("missing participant CSV header")
+    registry = MANRSRegistry()
+    for line_number, line in enumerate(lines[1:], start=2):
+        line = line.strip()
+        if not line:
+            continue
+        fields = line.split(",")
+        if len(fields) != 4:
+            raise DatasetError(f"bad participant record at line {line_number}")
+        org_id, program_text, joined_text, asn_text = fields
+        try:
+            participant = Participant(
+                org_id=org_id,
+                program=Program(program_text),
+                asns=tuple(int(a) for a in asn_text.split(";") if a),
+                joined=date.fromisoformat(joined_text),
+            )
+        except ValueError as exc:
+            raise DatasetError(
+                f"bad participant record at line {line_number}: {line!r}"
+            ) from exc
+        registry.add(participant)
+    return registry

@@ -1,0 +1,105 @@
+"""MANRS Action 2: source address validation (SAV) and the Spoofer test.
+
+Action 2 asks networks to block outbound traffic with spoofed source
+addresses and verify with CAIDA's Spoofer client.  Luckie et al. (CCS'19)
+— the only prior MANRS-conformance study the paper cites — found **no
+evidence** that MANRS members deploy SAV more than comparable non-members.
+This extension models exactly that: SAV deployment is sampled
+independently of membership, and a Spoofer-style measurement campaign
+(clients run in a random subset of networks) recovers the null result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import date
+
+import numpy as np
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # circular at runtime: scenario depends on manrs
+    from repro.scenario.world import World
+
+__all__ = [
+    "SpooferResult",
+    "SpooferCampaign",
+    "assign_sav_deployment",
+    "run_spoofer_campaign",
+]
+
+#: Baseline SAV deployment (Luckie et al. observed roughly a quarter to a
+#: third of tested networks blocking spoofed packets).
+SAV_DEPLOYMENT_RATE = 0.3
+
+
+@dataclass(frozen=True)
+class SpooferResult:
+    """One Spoofer client run: did the network block spoofed packets?"""
+
+    asn: int
+    blocks_spoofing: bool
+    tested_on: date
+
+
+@dataclass
+class SpooferCampaign:
+    """A set of Spoofer measurements plus membership-split statistics."""
+
+    results: list[SpooferResult]
+
+    def deployment_rate(self, asns: frozenset[int] | None = None) -> float:
+        """Fraction of tested networks that block spoofing.
+
+        With ``asns`` given, restrict to that population (e.g. MANRS
+        members).  Returns 0.0 when nothing matches.
+        """
+        relevant = [
+            r for r in self.results if asns is None or r.asn in asns
+        ]
+        if not relevant:
+            return 0.0
+        return sum(r.blocks_spoofing for r in relevant) / len(relevant)
+
+    def tested_count(self, asns: frozenset[int] | None = None) -> int:
+        """Number of tested networks (optionally within a population)."""
+        return sum(1 for r in self.results if asns is None or r.asn in asns)
+
+
+def assign_sav_deployment(
+    world: "World", seed: int = 0, rate: float = SAV_DEPLOYMENT_RATE
+) -> dict[int, bool]:
+    """Ground-truth SAV deployment per AS.
+
+    Deliberately *independent of MANRS membership* — the Luckie et al.
+    finding the paper cites (§4.4).
+    """
+    rng = np.random.default_rng(seed)
+    return {
+        asn: bool(rng.random() < rate) for asn in world.topology.asns
+    }
+
+
+def run_spoofer_campaign(
+    world: "World",
+    sav_truth: dict[int, bool],
+    test_probability: float = 0.25,
+    seed: int = 0,
+) -> SpooferCampaign:
+    """Simulate a Spoofer measurement campaign.
+
+    Volunteer clients appear in a random ``test_probability`` fraction of
+    networks (coverage is opportunistic in reality too); each run reveals
+    that network's true SAV state.
+    """
+    rng = np.random.default_rng(seed)
+    results = [
+        SpooferResult(
+            asn=asn,
+            blocks_spoofing=sav_truth[asn],
+            tested_on=world.snapshot_date,
+        )
+        for asn in world.topology.asns
+        if rng.random() < test_probability
+    ]
+    return SpooferCampaign(results=results)

@@ -1,0 +1,33 @@
+"""Networking primitives: prefixes, AS numbers, and the radix trie."""
+
+from repro.net.asn import (
+    AS_TRANS,
+    MAX_ASN,
+    format_as_path,
+    format_asn,
+    is_private_asn,
+    is_reserved_asn,
+    parse_as_path,
+    parse_asn,
+    strip_prepending,
+    validate_asn,
+)
+from repro.net.prefix import Prefix, aggregate_address_count, coalesce
+from repro.net.radix import RadixTree
+
+__all__ = [
+    "AS_TRANS",
+    "MAX_ASN",
+    "Prefix",
+    "RadixTree",
+    "aggregate_address_count",
+    "coalesce",
+    "format_as_path",
+    "format_asn",
+    "is_private_asn",
+    "is_reserved_asn",
+    "parse_as_path",
+    "parse_asn",
+    "strip_prepending",
+    "validate_asn",
+]

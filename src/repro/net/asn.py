@@ -1,0 +1,100 @@
+"""AS number and AS path utilities.
+
+AS numbers are plain ints throughout the library (fast, hashable); this
+module centralises validation and the text forms used in datasets ("AS65001"
+in IRR objects, bare digits in CAIDA files, space-separated paths in BGP
+dumps).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.errors import ASNError
+
+__all__ = [
+    "MAX_ASN",
+    "AS_TRANS",
+    "validate_asn",
+    "parse_asn",
+    "format_asn",
+    "parse_as_path",
+    "format_as_path",
+    "strip_prepending",
+    "is_private_asn",
+    "is_reserved_asn",
+]
+
+MAX_ASN = 2**32 - 1
+#: RFC 6793 placeholder ASN used when 4-byte ASNs traverse 2-byte speakers.
+AS_TRANS = 23456
+
+_PRIVATE_RANGES = ((64512, 65534), (4200000000, 4294967294))
+#: ASNs that must never originate routes: AS0 (RFC 7607), AS_TRANS,
+#: documentation ASNs (RFC 5398) and the last ASN of each size (RFC 7300).
+_RESERVED = frozenset({0, AS_TRANS, 65535, MAX_ASN}) | frozenset(
+    range(64496, 64512)
+) | frozenset(range(65536, 65552))
+
+
+def validate_asn(asn: int) -> int:
+    """Return ``asn`` if it is a structurally valid AS number, else raise."""
+    if not isinstance(asn, int) or isinstance(asn, bool):
+        raise ASNError(f"ASN must be an int, got {type(asn).__name__}")
+    if not 0 <= asn <= MAX_ASN:
+        raise ASNError(f"ASN {asn} out of 32-bit range")
+    return asn
+
+
+def parse_asn(text: str) -> int:
+    """Parse ``"AS65001"``, ``"as65001"`` or ``"65001"`` into an int."""
+    text = text.strip()
+    if text[:2].upper() == "AS":
+        text = text[2:]
+    try:
+        asn = int(text)
+    except ValueError as exc:
+        raise ASNError(f"malformed ASN: {text!r}") from exc
+    return validate_asn(asn)
+
+
+def format_asn(asn: int) -> str:
+    """Canonical ``"AS<digits>"`` text form used in RPSL objects."""
+    return f"AS{validate_asn(asn)}"
+
+
+def parse_as_path(text: str) -> tuple[int, ...]:
+    """Parse a space-separated AS path (as in MRT/`show ip bgp` dumps)."""
+    if not text.strip():
+        return ()
+    return tuple(parse_asn(token) for token in text.split())
+
+
+def format_as_path(path: Sequence[int]) -> str:
+    """Render an AS path as space-separated decimal ASNs."""
+    return " ".join(str(validate_asn(asn)) for asn in path)
+
+
+def strip_prepending(path: Iterable[int]) -> tuple[int, ...]:
+    """Collapse consecutive duplicate ASNs (AS-path prepending).
+
+    Hegemony and transit analyses count each AS once per path, so prepended
+    paths must be deduplicated while preserving order.
+    """
+    stripped: list[int] = []
+    for asn in path:
+        if not stripped or stripped[-1] != asn:
+            stripped.append(asn)
+    return tuple(stripped)
+
+
+def is_private_asn(asn: int) -> bool:
+    """True for RFC 6996 private-use ASNs."""
+    validate_asn(asn)
+    return any(low <= asn <= high for low, high in _PRIVATE_RANGES)
+
+
+def is_reserved_asn(asn: int) -> bool:
+    """True for ASNs that must not appear as a route origin."""
+    validate_asn(asn)
+    return asn in _RESERVED

@@ -1,0 +1,172 @@
+"""Binary radix (Patricia-style) trie keyed by IP prefixes.
+
+Both RPKI route origin validation and IRR route-object matching need the
+same primitive: given a BGP prefix, find every registered entry whose
+prefix *covers* it (RFC 6811 calls these "covering VRPs").  A binary trie
+indexed by address bits answers that in O(prefix length).
+
+The trie stores a list of values per node so that multiple objects can be
+registered under the same prefix (e.g. two ROAs for the same prefix with
+different origin ASNs).  IPv4 and IPv6 entries live in separate roots so
+key bits never collide.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Iterator, TypeVar
+
+from repro.net.prefix import Prefix
+
+__all__ = ["RadixTree"]
+
+V = TypeVar("V")
+
+
+class _Node(Generic[V]):
+    __slots__ = ("children", "values")
+
+    def __init__(self) -> None:
+        self.children: list["_Node[V] | None"] = [None, None]
+        self.values: list[V] | None = None
+
+
+class RadixTree(Generic[V]):
+    """Map from :class:`Prefix` to lists of values with covering lookups.
+
+    ``insert`` appends (duplicate values under one prefix are allowed, as
+    in real registries), ``covering`` walks root-to-leaf collecting every
+    match, and ``search_exact`` returns only the values stored at the
+    queried prefix.
+    """
+
+    def __init__(self) -> None:
+        self._roots: dict[int, _Node[V]] = {4: _Node(), 6: _Node()}
+        self._size = 0
+
+    def __len__(self) -> int:
+        """Number of inserted values (not distinct prefixes)."""
+        return self._size
+
+    def insert(self, prefix: Prefix, value: V) -> None:
+        """Register ``value`` under ``prefix``."""
+        node = self._roots[prefix.version]
+        address = prefix.value
+        shift = prefix.bits - 1
+        for _ in range(prefix.length):
+            bit = (address >> shift) & 1
+            shift -= 1
+            child = node.children[bit]
+            if child is None:
+                child = _Node()
+                node.children[bit] = child
+            node = child
+        if node.values is None:
+            node.values = []
+        node.values.append(value)
+        self._size += 1
+
+    def remove(self, prefix: Prefix, value: V) -> bool:
+        """Remove one occurrence of ``value`` at ``prefix``.
+
+        Returns True if something was removed.  Empty interior nodes are
+        left in place; the trie is insert-heavy and rebuilt per snapshot,
+        so path compression on delete is not worth the complexity.
+        """
+        node: _Node[V] | None = self._roots[prefix.version]
+        for i in range(prefix.length):
+            if node is None:
+                return False
+            node = node.children[prefix.bit_at(i)]
+        if node is None or not node.values:
+            return False
+        try:
+            node.values.remove(value)
+        except ValueError:
+            return False
+        self._size -= 1
+        return True
+
+    def search_exact(self, prefix: Prefix) -> list[V]:
+        """Values registered at exactly ``prefix`` (possibly empty)."""
+        node: _Node[V] | None = self._roots[prefix.version]
+        for i in range(prefix.length):
+            if node is None:
+                return []
+            node = node.children[prefix.bit_at(i)]
+        if node is None or node.values is None:
+            return []
+        return list(node.values)
+
+    def covering(self, prefix: Prefix) -> list[V]:
+        """All values whose prefix contains ``prefix`` (including exact).
+
+        Matches are returned shortest-prefix first (least specific to most
+        specific), which callers use e.g. to prefer the most specific IRR
+        route object.
+        """
+        found: list[V] = []
+        node: _Node[V] | None = self._roots[prefix.version]
+        address = prefix.value
+        shift = prefix.bits - 1
+        for _ in range(prefix.length):
+            if node.values:
+                found.extend(node.values)
+            node = node.children[(address >> shift) & 1]
+            shift -= 1
+            if node is None:
+                return found
+        if node.values:
+            found.extend(node.values)
+        return found
+
+    def covered(self, prefix: Prefix) -> list[V]:
+        """All values at ``prefix`` or more-specific prefixes under it."""
+        node: _Node[V] | None = self._roots[prefix.version]
+        for i in range(prefix.length):
+            if node is None:
+                return []
+            node = node.children[prefix.bit_at(i)]
+        if node is None:
+            return []
+        found: list[V] = []
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            if current.values:
+                found.extend(current.values)
+            for child in current.children:
+                if child is not None:
+                    stack.append(child)
+        return found
+
+    def has_covering(self, prefix: Prefix) -> bool:
+        """Cheap test for "is there any covering entry at all?"."""
+        node: _Node[V] | None = self._roots[prefix.version]
+        address = prefix.value
+        shift = prefix.bits - 1
+        for _ in range(prefix.length):
+            if node.values:
+                return True
+            node = node.children[(address >> shift) & 1]
+            shift -= 1
+            if node is None:
+                return False
+        return bool(node.values)
+
+    def items(self) -> Iterator[tuple[Prefix, V]]:
+        """Iterate over every (prefix, value) pair in address order."""
+        for version in (4, 6):
+            yield from self._walk(self._roots[version], 0, 0, version)
+
+    def _walk(
+        self, node: _Node[V], value: int, depth: int, version: int
+    ) -> Iterator[tuple[Prefix, V]]:
+        if node.values:
+            bits = 32 if version == 4 else 128
+            prefix = Prefix(value << (bits - depth) if depth else 0, depth, version)
+            for stored in node.values:
+                yield prefix, stored
+        for bit in (0, 1):
+            child = node.children[bit]
+            if child is not None:
+                yield from self._walk(child, (value << 1) | bit, depth + 1, version)

@@ -1,0 +1,14 @@
+"""Regional Internet Registries and address allocation."""
+
+from repro.registry.allocation import AddressSpace, Delegation, parse_delegations
+from repro.registry.rir import ALL_RIRS, RIR, rir_for_country, rir_for_prefix
+
+__all__ = [
+    "ALL_RIRS",
+    "AddressSpace",
+    "Delegation",
+    "RIR",
+    "parse_delegations",
+    "rir_for_country",
+    "rir_for_prefix",
+]

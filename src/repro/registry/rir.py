@@ -1,0 +1,104 @@
+"""The five Regional Internet Registries and their address pools.
+
+Each RIR manages a disjoint slice of the IPv4 (and IPv6) space and acts as
+the trust anchor for RPKI certification of that space, and as the operator
+of the authoritative IRR database for it.  The pools used here are
+synthetic /8 blocks — the analyses only require that the pools are disjoint
+and attributable, not that they match IANA's actual allocation history.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from repro.errors import AllocationError
+from repro.net.prefix import Prefix
+
+__all__ = ["RIR", "rir_for_prefix", "ALL_RIRS"]
+
+
+class RIR(str, Enum):
+    """A Regional Internet Registry service region."""
+
+    ARIN = "ARIN"
+    RIPE = "RIPE"
+    APNIC = "APNIC"
+    LACNIC = "LACNIC"
+    AFRINIC = "AFRINIC"
+
+    @property
+    def v4_pools(self) -> tuple[Prefix, ...]:
+        """The synthetic IPv4 /8 blocks this RIR administers."""
+        return _V4_POOLS[self]
+
+    @property
+    def v6_pool(self) -> Prefix:
+        """The synthetic IPv6 /20 block this RIR administers."""
+        return _V6_POOLS[self]
+
+    @property
+    def countries(self) -> tuple[str, ...]:
+        """Representative ISO country codes in this service region."""
+        return _COUNTRIES[self]
+
+
+#: Region sizes are skewed like reality: ARIN and RIPE hold the most v4
+#: space, AFRINIC the least.  Pools deliberately avoid 0/8 and 10/8.
+_V4_POOLS: dict[RIR, tuple[Prefix, ...]] = {
+    RIR.ARIN: tuple(Prefix.parse(p) for p in (
+        "12.0.0.0/8", "13.0.0.0/8", "16.0.0.0/8", "17.0.0.0/8",
+        "18.0.0.0/8", "20.0.0.0/8", "23.0.0.0/8", "24.0.0.0/8",
+    )),
+    RIR.RIPE: tuple(Prefix.parse(p) for p in (
+        "31.0.0.0/8", "37.0.0.0/8", "46.0.0.0/8", "62.0.0.0/8",
+        "77.0.0.0/8", "78.0.0.0/8", "80.0.0.0/8",
+    )),
+    RIR.APNIC: tuple(Prefix.parse(p) for p in (
+        "101.0.0.0/8", "103.0.0.0/8", "110.0.0.0/8", "111.0.0.0/8",
+        "112.0.0.0/8", "114.0.0.0/8",
+    )),
+    RIR.LACNIC: tuple(Prefix.parse(p) for p in (
+        "177.0.0.0/8", "179.0.0.0/8", "181.0.0.0/8", "186.0.0.0/8",
+    )),
+    RIR.AFRINIC: tuple(Prefix.parse(p) for p in (
+        "41.0.0.0/8", "102.0.0.0/8", "105.0.0.0/8",
+    )),
+}
+
+_V6_POOLS: dict[RIR, Prefix] = {
+    RIR.ARIN: Prefix.parse("2600::/20"),
+    RIR.RIPE: Prefix.parse("2a00::/20"),
+    RIR.APNIC: Prefix.parse("2400::/20"),
+    RIR.LACNIC: Prefix.parse("2800::/20"),
+    RIR.AFRINIC: Prefix.parse("2c00::/20"),
+}
+
+_COUNTRIES: dict[RIR, tuple[str, ...]] = {
+    RIR.ARIN: ("US", "CA"),
+    RIR.RIPE: ("DE", "GB", "FR", "NL", "RU", "IT"),
+    RIR.APNIC: ("CN", "JP", "IN", "AU", "KR", "ID"),
+    RIR.LACNIC: ("BR", "AR", "MX", "CL", "CO"),
+    RIR.AFRINIC: ("ZA", "NG", "EG", "KE"),
+}
+
+ALL_RIRS: tuple[RIR, ...] = tuple(RIR)
+
+
+def rir_for_prefix(prefix: Prefix) -> RIR:
+    """Map a prefix back to the RIR whose pool contains it."""
+    for rir in ALL_RIRS:
+        if prefix.version == 4:
+            if any(pool.contains(prefix) for pool in rir.v4_pools):
+                return rir
+        else:
+            if rir.v6_pool.contains(prefix):
+                return rir
+    raise AllocationError(f"{prefix} is not in any RIR pool")
+
+
+def rir_for_country(country: str) -> RIR:
+    """Map an ISO country code to its RIR service region."""
+    for rir, countries in _COUNTRIES.items():
+        if country in countries:
+            return rir
+    raise AllocationError(f"country {country!r} not in any modelled region")

@@ -1,0 +1,21 @@
+"""RPKI substrate: ROAs, certification tree, relying party, ROV, archives."""
+
+from repro.rpki.archive import VRPArchive, parse_vrps, serialize_vrps
+from repro.rpki.ca import ResourceCertificate, RPKIRepository
+from repro.rpki.roa import ROA, VRP
+from repro.rpki.rov import ROVValidator, RPKIStatus
+from repro.rpki.validator import RelyingParty, ValidationReport
+
+__all__ = [
+    "ROA",
+    "ROVValidator",
+    "RPKIRepository",
+    "RPKIStatus",
+    "RelyingParty",
+    "ResourceCertificate",
+    "VRP",
+    "VRPArchive",
+    "ValidationReport",
+    "parse_vrps",
+    "serialize_vrps",
+]

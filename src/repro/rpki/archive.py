@@ -1,0 +1,107 @@
+"""VRP archive: dated snapshots in RIPE NCC's CSV export format.
+
+RIPE publishes daily validated-ROA dumps since 2011 (§5.4); the paper uses
+monthly snapshots from 2014–2022.  We reproduce the CSV schema
+(``URI,ASN,IP Prefix,Max Length,Not Before,Not After``) so serialisation
+round-trips through a genuine parser, and provide a small dated-snapshot
+container used by the timeline.
+"""
+
+from __future__ import annotations
+
+from datetime import date
+
+from repro.errors import DatasetError
+from repro.net.asn import parse_asn
+from repro.net.prefix import Prefix
+from repro.registry.rir import RIR, rir_for_prefix
+from repro.rpki.roa import VRP
+
+__all__ = ["VRPArchive", "serialize_vrps", "parse_vrps"]
+
+_HEADER = "URI,ASN,IP Prefix,Max Length,Not Before,Not After"
+
+
+class VRPArchive:
+    """Dated VRP snapshots, newest-wins lookup by date."""
+
+    def __init__(self) -> None:
+        self._snapshots: dict[date, tuple[VRP, ...]] = {}
+
+    def add_snapshot(self, snapshot_date: date, vrps: list[VRP]) -> None:
+        """Store one dated snapshot (duplicates are an error)."""
+        if snapshot_date in self._snapshots:
+            raise DatasetError(f"duplicate VRP snapshot for {snapshot_date}")
+        self._snapshots[snapshot_date] = tuple(vrps)
+
+    @property
+    def dates(self) -> list[date]:
+        """All snapshot dates, ascending."""
+        return sorted(self._snapshots)
+
+    def snapshot(self, snapshot_date: date) -> tuple[VRP, ...]:
+        """The snapshot taken exactly on ``snapshot_date``."""
+        try:
+            return self._snapshots[snapshot_date]
+        except KeyError as exc:
+            raise DatasetError(f"no VRP snapshot for {snapshot_date}") from exc
+
+    def latest_at(self, as_of: date) -> tuple[VRP, ...]:
+        """The most recent snapshot on or before ``as_of``."""
+        eligible = [d for d in self._snapshots if d <= as_of]
+        if not eligible:
+            raise DatasetError(f"no VRP snapshot on or before {as_of}")
+        return self._snapshots[max(eligible)]
+
+
+def serialize_vrps(vrps: list[VRP], snapshot_date: date) -> str:
+    """Render VRPs in the RIPE CSV export schema."""
+    lines = [_HEADER]
+    for vrp in sorted(vrps, key=lambda v: (v.prefix, v.asn, v.max_length)):
+        uri = f"rsync://rpki.{vrp.trust_anchor.value.lower()}.example/roa"
+        lines.append(
+            f"{uri},AS{vrp.asn},{vrp.prefix},{vrp.max_length},"
+            f"{snapshot_date.isoformat()},{snapshot_date.isoformat()}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def parse_vrps(text: str) -> list[VRP]:
+    """Parse the CSV schema produced by :func:`serialize_vrps`."""
+    lines = text.splitlines()
+    if not lines or lines[0].strip() != _HEADER:
+        raise DatasetError("missing VRP CSV header")
+    vrps: list[VRP] = []
+    for line_number, line in enumerate(lines[1:], start=2):
+        line = line.strip()
+        if not line:
+            continue
+        fields = line.split(",")
+        if len(fields) != 6:
+            raise DatasetError(f"bad VRP record at line {line_number}")
+        try:
+            asn = parse_asn(fields[1])
+            prefix = Prefix.parse(fields[2])
+            max_length = int(fields[3])
+        except ValueError as exc:
+            raise DatasetError(
+                f"bad VRP record at line {line_number}: {line!r}"
+            ) from exc
+        trust_anchor = _anchor_from_uri(fields[0], prefix)
+        vrps.append(
+            VRP(
+                prefix=prefix,
+                asn=asn,
+                max_length=max_length,
+                trust_anchor=trust_anchor,
+            )
+        )
+    return vrps
+
+
+def _anchor_from_uri(uri: str, prefix: Prefix) -> RIR:
+    for rir in RIR:
+        if f"rpki.{rir.value.lower()}." in uri:
+            return rir
+    # Fall back to deriving the anchor from the address space itself.
+    return rir_for_prefix(prefix)

@@ -1,0 +1,82 @@
+"""Route Origin Authorizations and Validated ROA Payloads.
+
+A ROA is the signed statement "AS *x* may originate prefix *p* up to
+max-length *m*"; the relying party turns structurally valid ROAs under a
+valid certificate chain into VRPs (RFC 6811's term for the validated
+triples ROV actually consumes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import date
+
+from repro.errors import RPKIError
+from repro.net.asn import validate_asn
+from repro.net.prefix import Prefix
+from repro.registry.rir import RIR
+
+__all__ = ["ROA", "VRP"]
+
+
+@dataclass(frozen=True)
+class ROA:
+    """A Route Origin Authorization object.
+
+    ``asn`` may be 0 (AS0, RFC 7607) to declare that a prefix must not be
+    announced at all — the paper's §8.1 case study (the Indonesian ISP)
+    hinges on an AS0 ROA.
+    """
+
+    prefix: Prefix
+    asn: int
+    max_length: int
+    certificate_id: str
+    not_before: date
+    not_after: date
+
+    def __post_init__(self) -> None:
+        validate_asn(self.asn)
+        if not self.prefix.length <= self.max_length <= self.prefix.bits:
+            raise RPKIError(
+                f"maxLength {self.max_length} outside "
+                f"[{self.prefix.length}, {self.prefix.bits}] for {self.prefix}"
+            )
+        if self.not_after < self.not_before:
+            raise RPKIError(
+                f"ROA validity window inverted: {self.not_before}..{self.not_after}"
+            )
+
+    def is_current(self, as_of: date) -> bool:
+        """True if ``as_of`` falls inside the validity window."""
+        return self.not_before <= as_of <= self.not_after
+
+
+@dataclass(frozen=True)
+class VRP:
+    """A Validated ROA Payload: the (prefix, asn, maxLength) triple."""
+
+    prefix: Prefix
+    asn: int
+    max_length: int
+    trust_anchor: RIR
+
+    def __post_init__(self) -> None:
+        validate_asn(self.asn)
+        if not self.prefix.length <= self.max_length <= self.prefix.bits:
+            raise RPKIError(
+                f"VRP maxLength {self.max_length} invalid for {self.prefix}"
+            )
+
+    def covers(self, prefix: Prefix) -> bool:
+        """True if this VRP is a *covering* VRP for ``prefix`` (RFC 6811)."""
+        return self.prefix.contains(prefix)
+
+    def matches(self, prefix: Prefix, origin: int) -> bool:
+        """True if a route (prefix, origin) is Valid under this VRP."""
+        return (
+            self.covers(prefix)
+            and self.asn == origin
+            and self.asn != 0
+            and prefix.length <= self.max_length
+        )

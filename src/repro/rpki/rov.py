@@ -1,0 +1,85 @@
+"""Route Origin Validation per RFC 6811 (and §6.1 of the paper).
+
+Given the VRP set, classify a route (prefix, origin AS):
+
+* **NOT_FOUND** — no VRP covers the prefix;
+* **VALID** — some covering VRP matches both the origin ASN and the
+  prefix length (≤ maxLength);
+* **INVALID_LENGTH** — at least one covering VRP matches the ASN but the
+  announced prefix is more specific than its maxLength allows;
+* **INVALID_ASN** — covering VRPs exist but none matches the origin ASN
+  (this includes AS0 ROAs, which can never match).
+
+The classifier is backed by the radix trie, so a lookup costs
+O(prefix length) regardless of table size.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Iterable
+
+from repro.net.prefix import Prefix
+from repro.net.radix import RadixTree
+from repro.rpki.roa import VRP
+
+__all__ = ["RPKIStatus", "ROVValidator"]
+
+
+class RPKIStatus(str, Enum):
+    """RFC 6811 route validation outcome."""
+
+    VALID = "valid"
+    INVALID_ASN = "invalid_asn"
+    INVALID_LENGTH = "invalid_length"
+    NOT_FOUND = "not_found"
+
+    @property
+    def is_invalid(self) -> bool:
+        """True for either invalid flavour."""
+        return self in (RPKIStatus.INVALID_ASN, RPKIStatus.INVALID_LENGTH)
+
+
+class ROVValidator:
+    """Stateful validator over a fixed VRP set."""
+
+    def __init__(self, vrps: Iterable[VRP]):
+        self._tree: RadixTree[VRP] = RadixTree()
+        count = 0
+        for vrp in vrps:
+            self._tree.insert(vrp.prefix, vrp)
+            count += 1
+        self._count = count
+
+    def __len__(self) -> int:
+        """Number of VRPs loaded."""
+        return self._count
+
+    def all_vrps(self) -> list[VRP]:
+        """Every loaded VRP, in address order."""
+        return [vrp for _, vrp in self._tree.items()]
+
+    def covering_vrps(self, prefix: Prefix) -> list[VRP]:
+        """All VRPs whose prefix contains ``prefix``."""
+        return self._tree.covering(prefix)
+
+    def validate(self, prefix: Prefix, origin: int) -> RPKIStatus:
+        """Classify one route against the loaded VRPs."""
+        covering = self._tree.covering(prefix)
+        if not covering:
+            return RPKIStatus.NOT_FOUND
+        asn_match = False
+        for vrp in covering:
+            if vrp.asn == origin and vrp.asn != 0:
+                if prefix.length <= vrp.max_length:
+                    return RPKIStatus.VALID
+                asn_match = True
+        return RPKIStatus.INVALID_LENGTH if asn_match else RPKIStatus.INVALID_ASN
+
+    def covered_space(self, prefixes: Iterable[Prefix]) -> list[Prefix]:
+        """Subset of ``prefixes`` that have at least one covering VRP.
+
+        This is the paper's "ROA covered ... address space" numerator for
+        RPKI saturation (Equation 7/8).
+        """
+        return [p for p in prefixes if self._tree.has_covering(p)]

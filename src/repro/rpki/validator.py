@@ -1,0 +1,98 @@
+"""Relying-party validation: repository → validated ROA payloads.
+
+The RP walks every published ROA's certificate chain to a trust anchor,
+checking at each step that the certificate is current (unexpired, not
+revoked) and that resources are contained in the issuer's resources, and
+that the ROA itself is current and within its certificate's resources.
+Surviving ROAs become :class:`~repro.rpki.roa.VRP` objects — the input to
+route origin validation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import date
+
+from repro.errors import RPKIError
+from repro.rpki.ca import RPKIRepository, ResourceCertificate
+from repro.rpki.roa import ROA, VRP
+
+__all__ = ["ValidationReport", "RelyingParty"]
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of one RP run: VRPs plus per-reason rejection counts."""
+
+    vrps: list[VRP] = field(default_factory=list)
+    rejected: dict[str, int] = field(default_factory=dict)
+
+    def _reject(self, reason: str) -> None:
+        self.rejected[reason] = self.rejected.get(reason, 0) + 1
+
+    @property
+    def rejected_total(self) -> int:
+        """Number of ROAs that did not validate."""
+        return sum(self.rejected.values())
+
+
+class RelyingParty:
+    """Validates an :class:`RPKIRepository` as of a given date."""
+
+    def __init__(self, repository: RPKIRepository):
+        self._repository = repository
+
+    def validate(self, as_of: date) -> ValidationReport:
+        """Produce the VRP set a router would receive on ``as_of``."""
+        report = ValidationReport()
+        chain_ok: dict[str, bool] = {}
+        for roa in self._repository.roas:
+            certificate = self._repository.certificates.get(roa.certificate_id)
+            if certificate is None:
+                report._reject("orphan_roa")
+                continue
+            if not roa.is_current(as_of):
+                report._reject("roa_expired")
+                continue
+            if not certificate.covers(roa.prefix):
+                report._reject("roa_outside_certificate")
+                continue
+            if not self._chain_valid(certificate, as_of, chain_ok):
+                report._reject("bad_certificate_chain")
+                continue
+            report.vrps.append(
+                VRP(
+                    prefix=roa.prefix,
+                    asn=roa.asn,
+                    max_length=roa.max_length,
+                    trust_anchor=certificate.trust_anchor,
+                )
+            )
+        return report
+
+    def _chain_valid(
+        self,
+        certificate: ResourceCertificate,
+        as_of: date,
+        cache: dict[str, bool],
+    ) -> bool:
+        cached = cache.get(certificate.certificate_id)
+        if cached is not None:
+            return cached
+        try:
+            chain = self._repository.chain_of(certificate)
+        except RPKIError:
+            cache[certificate.certificate_id] = False
+            return False
+        valid = all(link.is_current(as_of) for link in chain)
+        if valid:
+            # Child resources must be contained in the parent's resources
+            # all the way up (over-claiming certificates are rejected).
+            for child, parent in zip(chain, chain[1:]):
+                if not all(
+                    parent.covers(resource) for resource in child.resources
+                ):
+                    valid = False
+                    break
+        cache[certificate.certificate_id] = valid
+        return valid

@@ -1,0 +1,35 @@
+"""Scenario: behaviour config, world builder, and historical timeline."""
+
+from repro.scenario.build import build_world
+from repro.scenario.config import (
+    BehaviorConfig,
+    FilteringBehavior,
+    OriginationConfig,
+    RegistrationBehavior,
+    ScenarioConfig,
+)
+from repro.scenario.timeline import (
+    GrowthPoint,
+    SaturationPoint,
+    Timeline,
+    WeeklyConformance,
+    weekly_member_conformance,
+)
+from repro.scenario.world import ASBehavior, Origination, World
+
+__all__ = [
+    "GrowthPoint",
+    "SaturationPoint",
+    "Timeline",
+    "WeeklyConformance",
+    "weekly_member_conformance",
+    "ASBehavior",
+    "BehaviorConfig",
+    "FilteringBehavior",
+    "Origination",
+    "OriginationConfig",
+    "RegistrationBehavior",
+    "ScenarioConfig",
+    "World",
+    "build_world",
+]

@@ -1,0 +1,241 @@
+"""Scenario configuration: the behavioural ground truth of the synthetic
+Internet.
+
+The paper *measures* hidden operator behaviour — how diligently networks
+register routes in RPKI/IRR and whether they filter invalid customer
+routes.  Our scenario makes that behaviour explicit and samples it per AS,
+with parameters keyed by (size class, MANRS membership, program) and
+calibrated against the May-2022 statistics reported in §8–§9 (see
+DESIGN.md §5 for the target list).  The measurement pipeline then runs on
+top, exactly as the paper's does, and the tests check that it recovers the
+paper's shapes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import date
+
+from repro.topology.classify import SizeClass
+
+__all__ = [
+    "RegistrationBehavior",
+    "FilteringBehavior",
+    "BehaviorConfig",
+    "OriginationConfig",
+    "ScenarioConfig",
+]
+
+
+@dataclass(frozen=True)
+class RegistrationBehavior:
+    """Registration diligence parameters for one population cell."""
+
+    #: Probability the AS registers ROAs for all / none of its prefixes
+    #: (the remainder registers a uniform fraction — the RPKI validity
+    #: distribution in Figure 5a is bimodal for exactly this reason).
+    rpki_all: float
+    rpki_none: float
+    #: Probability the AS has at least one misconfigured ROA (stale ASN,
+    #: short maxLength, or AS0), making prefixes RPKI Invalid.
+    rpki_misconfig: float
+    #: Mean number of RPKI-Invalid prefixes for a misconfiguring AS.
+    rpki_misconfig_mean: float
+    #: Probability the AS registers IRR route objects for all / none of
+    #: its prefixes.
+    irr_all: float
+    irr_none: float
+    #: Probability that an AS's IRR records have gone stale (registered
+    #: with an outdated origin → IRR Invalid).  §8.2 attributes the *lower*
+    #: IRR validity of large MANRS networks to exactly this.
+    irr_stale: float
+    #: Mean fraction of this AS's registered objects that are stale,
+    #: given staleness.
+    irr_stale_fraction: float
+    #: Range of the registered fraction for partially-registering ASes.
+    rpki_partial_range: tuple[float, float] = (0.2, 0.9)
+    irr_partial_range: tuple[float, float] = (0.55, 0.95)
+
+
+@dataclass(frozen=True)
+class FilteringBehavior:
+    """Route-filtering deployment parameters for one population cell."""
+
+    #: Probability of full ROV deployment (drop RPKI Invalid from anyone).
+    rov: float
+    #: Probability of IRR-based filtering of customer announcements
+    #: (MANRS Action 1 for ISPs).
+    filter_customers: float
+    #: Range of the per-AS fraction of customer sessions actually covered
+    #: by the Action 1 filters.  Partial coverage is why no large AS is
+    #: fully Action 1 conformant (Table 2): with hundreds of customers,
+    #: something always leaks.
+    filter_coverage: tuple[float, float] = (0.9, 1.0)
+
+
+# Calibration notes (paper May-2022 statistics → parameters):
+#   small MANRS   60.1% all-valid / 23.6% none; no RPKI-Invalid origination
+#   small nonM    24.7% all-valid / 68.1% none; 0.7% misconfiguring
+#   medium MANRS  41.5% / 14.8%; 2.8% misconfiguring
+#   medium nonM   23.8% / 41.4%; 4.5% misconfiguring
+#   large MANRS   all originate some valid; 12.5% all-valid; 20.8% misconf
+#   large nonM    11.8% none; 5.9% all-valid; 32.9% misconfiguring
+_REGISTRATION: dict[tuple[SizeClass, bool], RegistrationBehavior] = {
+    (SizeClass.SMALL, True): RegistrationBehavior(
+        rpki_all=0.601, rpki_none=0.236, rpki_misconfig=0.0, rpki_misconfig_mean=0.0,
+        irr_all=0.85, irr_none=0.03, irr_stale=0.05, irr_stale_fraction=0.5,
+    ),
+    (SizeClass.SMALL, False): RegistrationBehavior(
+        rpki_all=0.247, rpki_none=0.681, rpki_misconfig=0.007, rpki_misconfig_mean=1.6,
+        irr_all=0.80, irr_none=0.06, irr_stale=0.10, irr_stale_fraction=0.5,
+    ),
+    (SizeClass.MEDIUM, True): RegistrationBehavior(
+        rpki_all=0.415, rpki_none=0.148, rpki_misconfig=0.028, rpki_misconfig_mean=1.6,
+        irr_all=0.62, irr_none=0.02, irr_stale=0.18, irr_stale_fraction=0.35,
+    ),
+    (SizeClass.MEDIUM, False): RegistrationBehavior(
+        rpki_all=0.238, rpki_none=0.414, rpki_misconfig=0.045, rpki_misconfig_mean=3.0,
+        irr_all=0.58, irr_none=0.04, irr_stale=0.22, irr_stale_fraction=0.35,
+    ),
+    (SizeClass.LARGE, True): RegistrationBehavior(
+        rpki_all=0.125, rpki_none=0.0, rpki_misconfig=0.21, rpki_misconfig_mean=2.5,
+        irr_all=0.55, irr_none=0.0, irr_stale=0.85, irr_stale_fraction=0.35,
+        rpki_partial_range=(0.5, 0.97), irr_partial_range=(0.7, 0.98),
+    ),
+    (SizeClass.LARGE, False): RegistrationBehavior(
+        rpki_all=0.059, rpki_none=0.118, rpki_misconfig=0.33, rpki_misconfig_mean=8.0,
+        irr_all=0.55, irr_none=0.0, irr_stale=0.55, irr_stale_fraction=0.14,
+    ),
+}
+
+#: MANRS CDN-program members must be ~100% conformant (Finding 8.3: 17/20
+#: fully, 3 at >98%): near-total registration, rare small leaks.
+_CDN_MEMBER_REGISTRATION = RegistrationBehavior(
+    rpki_all=0.90, rpki_none=0.0, rpki_misconfig=0.0, rpki_misconfig_mean=0.0,
+    irr_all=1.0, irr_none=0.0, irr_stale=0.0, irr_stale_fraction=0.0,
+    rpki_partial_range=(0.8, 0.98), irr_partial_range=(0.95, 1.0),
+)
+
+# Filtering calibration (§9.1, Figure 7a): fraction of large MANRS
+# propagating zero RPKI-Invalids 45.9% vs 36.0% non-MANRS; medium and
+# small essentially indistinguishable on RPKI, small MANRS better on IRR.
+_FILTERING: dict[tuple[SizeClass, bool], FilteringBehavior] = {
+    (SizeClass.SMALL, True): FilteringBehavior(
+        rov=0.06, filter_customers=0.70, filter_coverage=(0.9, 1.0)
+    ),
+    (SizeClass.SMALL, False): FilteringBehavior(
+        rov=0.05, filter_customers=0.40, filter_coverage=(0.8, 1.0)
+    ),
+    (SizeClass.MEDIUM, True): FilteringBehavior(
+        rov=0.14, filter_customers=0.50, filter_coverage=(0.6, 0.95)
+    ),
+    (SizeClass.MEDIUM, False): FilteringBehavior(
+        rov=0.11, filter_customers=0.40, filter_coverage=(0.6, 1.0)
+    ),
+    (SizeClass.LARGE, True): FilteringBehavior(
+        rov=0.46, filter_customers=0.85, filter_coverage=(0.5, 0.85)
+    ),
+    (SizeClass.LARGE, False): FilteringBehavior(
+        rov=0.36, filter_customers=0.35, filter_coverage=(0.3, 0.75)
+    ),
+}
+
+
+@dataclass
+class BehaviorConfig:
+    """Behaviour tables, overridable per experiment/ablation."""
+
+    registration: dict[tuple[SizeClass, bool], RegistrationBehavior] = field(
+        default_factory=lambda: dict(_REGISTRATION)
+    )
+    cdn_member_registration: RegistrationBehavior = _CDN_MEMBER_REGISTRATION
+    filtering: dict[tuple[SizeClass, bool], FilteringBehavior] = field(
+        default_factory=lambda: dict(_FILTERING)
+    )
+    #: When a stale/misconfigured record points at the wrong origin, whom
+    #: it points at — drives Table 1's Sibling / C-P / Unrelated split.
+    wrong_origin_sibling: float = 0.45
+    wrong_origin_neighbor: float = 0.25  # customer or provider
+    # remainder: an unrelated AS
+
+
+@dataclass
+class OriginationConfig:
+    """How many prefixes each AS announces and how large they are.
+
+    ``prefix_lengths`` maps a category key to (lengths, weights) used when
+    allocating that AS's delegations; ``count_range`` to (low, high)
+    announced-prefix counts (inclusive).
+    """
+
+    count_range: dict[str, tuple[int, int]] = field(
+        default_factory=lambda: {
+            "stub": (1, 4),
+            "small_isp": (2, 8),
+            "medium_isp": (4, 30),
+            "large_transit": (50, 140),
+            "cdn": (30, 110),
+            "flagship_transit": (120, 180),
+            "flagship_cdn": (150, 220),
+        }
+    )
+    prefix_lengths: dict[str, tuple[tuple[int, ...], tuple[float, ...]]] = field(
+        default_factory=lambda: {
+            "stub": ((21, 22, 23, 24), (0.1, 0.2, 0.3, 0.4)),
+            "small_isp": ((20, 21, 22, 23), (0.15, 0.25, 0.3, 0.3)),
+            "medium_isp": ((17, 18, 19, 20, 21), (0.1, 0.15, 0.25, 0.25, 0.25)),
+            "large_transit": ((15, 16, 17, 18, 19, 20), (0.08, 0.12, 0.2, 0.25, 0.2, 0.15)),
+            "cdn": ((16, 17, 18, 19, 20, 21), (0.05, 0.1, 0.2, 0.25, 0.2, 0.2)),
+            "flagship_transit": ((13, 14, 15, 16), (0.2, 0.3, 0.3, 0.2)),
+            "flagship_cdn": ((14, 15, 16, 17), (0.2, 0.3, 0.3, 0.2)),
+        }
+    )
+    #: Probability an AS also announces IPv6 space, by category key;
+    #: v6 prefixes get the same registration treatment as v4 ones.
+    v6_probability: dict[str, float] = field(
+        default_factory=lambda: {
+            "stub": 0.15,
+            "small_isp": 0.25,
+            "medium_isp": 0.4,
+            "large_transit": 0.7,
+            "cdn": 0.8,
+            "flagship_transit": 1.0,
+            "flagship_cdn": 1.0,
+        }
+    )
+    v6_count_range: tuple[int, int] = (1, 3)
+    v6_lengths: tuple[int, ...] = (32, 36, 40, 44, 48)
+    #: Probability that an announced prefix is a traffic-engineering
+    #: de-aggregation (a more-specific of the registered block) — the IRR
+    #: invalid-length case §3 treats as conformant.
+    deaggregation_probability: float = 0.07
+    #: Probability a delegation is legacy space that cannot be certified
+    #: in the RPKI (§8.6 cites this as capping saturation), by RIR name.
+    legacy_probability: dict[str, float] = field(
+        default_factory=lambda: {
+            "ARIN": 0.22, "RIPE": 0.10, "APNIC": 0.08,
+            "LACNIC": 0.04, "AFRINIC": 0.04,
+        }
+    )
+
+
+@dataclass
+class ScenarioConfig:
+    """Everything needed to build one synthetic world."""
+
+    behavior: BehaviorConfig = field(default_factory=BehaviorConfig)
+    origination: OriginationConfig = field(default_factory=OriginationConfig)
+    #: The analysis snapshot date (the paper's is May 1, 2022).
+    snapshot_date: date = date(2022, 5, 1)
+    first_year: int = 2015
+    #: RPKI adoption-year weights for MANRS members / non-members
+    #: (2015..2022) — members adopted earlier and faster (Figure 6).
+    member_adoption_weights: tuple[float, ...] = (
+        0.04, 0.05, 0.06, 0.09, 0.14, 0.26, 0.22, 0.14,
+    )
+    nonmember_adoption_weights: tuple[float, ...] = (
+        0.02, 0.03, 0.04, 0.06, 0.10, 0.18, 0.27, 0.30,
+    )
+    #: Collector shape.
+    n_medium_vantage_points: int = 25
+    n_small_vantage_points: int = 5

@@ -1,0 +1,109 @@
+"""The World: one fully built synthetic Internet plus its measurements.
+
+A :class:`World` bundles the ground truth (topology, behaviours,
+registries, policies) together with everything the measurement pipeline
+derived from it (VRPs, collector RIB, IHR datasets, prefix2as).  Tests and
+experiments read both sides: ground truth to know what *should* be
+measured, derived data to check what *was* measured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import date
+
+from repro.bgp.collector import RibSnapshot
+from repro.bgp.policy import ASPolicy
+from repro.bgp.propagation import PropagationEngine
+from repro.bgp.table import Prefix2AS
+from repro.ihr.records import IHRDataset
+from repro.irr.database import IRRCollection
+from repro.manrs.actions import Program
+from repro.manrs.registry import MANRSRegistry
+from repro.net.prefix import Prefix
+from repro.registry.allocation import AddressSpace
+from repro.rpki.ca import RPKIRepository
+from repro.rpki.rov import ROVValidator
+from repro.scenario.config import ScenarioConfig
+from repro.topology.as2org import As2Org
+from repro.topology.classify import SizeClass
+from repro.topology.model import ASTopology
+
+__all__ = ["Origination", "ASBehavior", "World"]
+
+
+@dataclass(frozen=True)
+class Origination:
+    """One announced prefix and the delegated block it came from."""
+
+    asn: int
+    prefix: Prefix
+    block: Prefix
+    legacy: bool
+    deaggregated: bool
+
+
+@dataclass(frozen=True)
+class ASBehavior:
+    """Ground-truth behaviour sampled for one AS."""
+
+    member: bool
+    program: Program | None
+    #: Fraction of this AS's prefixes registered in the RPKI (0, 1, or
+    #: something in between — the three modes of Figure 5a).
+    rpki_fraction: float
+    #: Number of prefixes deliberately given a broken ROA.
+    rpki_misconfig_count: int
+    irr_fraction: float
+    #: Fraction of this AS's IRR objects registered with a stale origin.
+    irr_stale_fraction: float
+    rov: bool
+    filter_customers: bool
+    #: Fraction of customer sessions covered when filtering is deployed.
+    filter_coverage: float
+    #: Year this AS created its first ROAs (meaningless if rpki_fraction=0).
+    rpki_adoption_year: int
+
+
+@dataclass
+class World:
+    """A built scenario: ground truth plus the measurement pipeline output."""
+
+    config: ScenarioConfig
+    seed: int
+    # ground truth
+    topology: ASTopology
+    quiescent: frozenset[int]
+    as2org: As2Org
+    size_of: dict[int, SizeClass]
+    manrs: MANRSRegistry
+    address_space: AddressSpace
+    originations: dict[int, tuple[Origination, ...]]
+    behaviors: dict[int, ASBehavior]
+    policies: dict[int, ASPolicy]
+    rpki_repository: RPKIRepository
+    irr: IRRCollection
+    # measurement pipeline output (at config.snapshot_date)
+    engine: PropagationEngine
+    vantage_points: tuple[int, ...]
+    rov: ROVValidator
+    rib: RibSnapshot
+    ihr: IHRDataset
+    prefix2as: Prefix2AS
+
+    @property
+    def snapshot_date(self) -> date:
+        """The analysis snapshot date."""
+        return self.config.snapshot_date
+
+    def members(self, as_of: date | None = None) -> frozenset[int]:
+        """MANRS member ASNs (defaults to the snapshot date)."""
+        return self.manrs.member_asns(as_of=as_of or self.snapshot_date)
+
+    def is_member(self, asn: int) -> bool:
+        """Membership at the snapshot date."""
+        return self.manrs.is_member(asn, self.snapshot_date)
+
+    def all_announcements(self) -> int:
+        """Total announced prefixes across all ASes."""
+        return sum(len(origs) for origs in self.originations.values())

@@ -1,0 +1,51 @@
+"""AS-level topology: model, generator, size classes, as2org dataset."""
+
+from repro.topology.as2org import As2Org, parse_as2org, serialize_as2org
+from repro.topology.asrank import (
+    ASRankRecord,
+    build_asrank,
+    parse_asrank,
+    serialize_asrank,
+)
+from repro.topology.classify import SizeClass, classify_all, classify_size
+from repro.topology.generator import (
+    GeneratedTopology,
+    TopologyConfig,
+    generate_topology,
+)
+from repro.topology.model import (
+    ASCategory,
+    ASTopology,
+    AutonomousSystem,
+    Organization,
+    Relationship,
+)
+from repro.topology.relationships import (
+    customers_by_provider,
+    parse_relationships,
+    serialize_relationships,
+)
+
+__all__ = [
+    "ASCategory",
+    "ASRankRecord",
+    "ASTopology",
+    "As2Org",
+    "AutonomousSystem",
+    "GeneratedTopology",
+    "Organization",
+    "Relationship",
+    "SizeClass",
+    "TopologyConfig",
+    "build_asrank",
+    "classify_all",
+    "classify_size",
+    "customers_by_provider",
+    "generate_topology",
+    "parse_as2org",
+    "parse_asrank",
+    "parse_relationships",
+    "serialize_as2org",
+    "serialize_asrank",
+    "serialize_relationships",
+]

@@ -1,0 +1,122 @@
+"""as2org dataset: AS-to-organisation mapping (CAIDA substitute).
+
+The paper uses CAIDA's inferred as2org dataset to find sibling ASes of
+MANRS members (Finding 7.0, Table 1).  Here the mapping is exported from
+the ground-truth topology, with the same two-record text format CAIDA
+publishes (organisation records and AS records), so the loader is a real
+parser rather than a pass-through.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import DatasetError
+from repro.topology.model import ASTopology
+
+__all__ = ["As2Org", "serialize_as2org", "parse_as2org"]
+
+
+@dataclass(frozen=True)
+class As2Org:
+    """An immutable as2org snapshot: asn -> org_id and org_id -> asns."""
+
+    org_of: dict[int, str]
+    asns_of: dict[str, tuple[int, ...]]
+    org_names: dict[str, str]
+    org_countries: dict[str, str]
+
+    def siblings(self, asn: int) -> frozenset[int]:
+        """Other ASNs under the same organisation as ``asn``."""
+        org_id = self.org_of.get(asn)
+        if org_id is None:
+            return frozenset()
+        return frozenset(a for a in self.asns_of[org_id] if a != asn)
+
+    def same_org(self, a: int, b: int) -> bool:
+        """True if both ASNs map to the same organisation."""
+        org_a = self.org_of.get(a)
+        return org_a is not None and org_a == self.org_of.get(b)
+
+    @classmethod
+    def from_topology(cls, topology: ASTopology) -> "As2Org":
+        """Snapshot the ground-truth ownership from a topology."""
+        org_of: dict[int, str] = {}
+        asns_of: dict[str, tuple[int, ...]] = {}
+        org_names: dict[str, str] = {}
+        org_countries: dict[str, str] = {}
+        for org in topology.organizations:
+            asns_of[org.org_id] = tuple(sorted(org.asns))
+            org_names[org.org_id] = org.name
+            org_countries[org.org_id] = org.country
+            for asn in org.asns:
+                org_of[asn] = org.org_id
+        return cls(org_of, asns_of, org_names, org_countries)
+
+
+def serialize_as2org(snapshot: As2Org) -> str:
+    """Render the CAIDA-style two-section text format.
+
+    Organisation records: ``org_id|name|country``; AS records:
+    ``asn|org_id``.  Section markers mirror CAIDA's ``# format`` comments.
+    """
+    lines = ["# format:org_id|name|country"]
+    for org_id in sorted(snapshot.asns_of):
+        name = snapshot.org_names[org_id]
+        country = snapshot.org_countries[org_id]
+        lines.append(f"{org_id}|{name}|{country}")
+    lines.append("# format:aut|org_id")
+    for asn in sorted(snapshot.org_of):
+        lines.append(f"{asn}|{snapshot.org_of[asn]}")
+    return "\n".join(lines) + "\n"
+
+
+def parse_as2org(text: str) -> As2Org:
+    """Parse the format produced by :func:`serialize_as2org`."""
+    org_of: dict[int, str] = {}
+    asns_of: dict[str, list[int]] = {}
+    org_names: dict[str, str] = {}
+    org_countries: dict[str, str] = {}
+    section = None
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            if "org_id|name" in line:
+                section = "org"
+            elif "aut|org_id" in line:
+                section = "as"
+            continue
+        fields = line.split("|")
+        if section == "org":
+            if len(fields) != 3:
+                raise DatasetError(f"bad org record at line {line_number}")
+            org_id, name, country = fields
+            org_names[org_id] = name
+            org_countries[org_id] = country
+            asns_of.setdefault(org_id, [])
+        elif section == "as":
+            if len(fields) != 2:
+                raise DatasetError(f"bad AS record at line {line_number}")
+            try:
+                asn = int(fields[0])
+            except ValueError as exc:
+                raise DatasetError(
+                    f"bad ASN at line {line_number}: {fields[0]!r}"
+                ) from exc
+            org_id = fields[1]
+            if org_id not in asns_of:
+                raise DatasetError(
+                    f"AS record references unknown org at line {line_number}"
+                )
+            org_of[asn] = org_id
+            asns_of[org_id].append(asn)
+        else:
+            raise DatasetError(f"record before section header, line {line_number}")
+    return As2Org(
+        org_of,
+        {org_id: tuple(sorted(asns)) for org_id, asns in asns_of.items()},
+        org_names,
+        org_countries,
+    )

@@ -1,0 +1,90 @@
+"""AS Rank dataset (CAIDA substitute).
+
+The paper's §5.1 lists CAIDA's AS Rank among its inputs; §6.2 uses the
+customer degree it reports to build the size classes.  This module
+exports the topology's ground truth in an AS-Rank-like pipe-separated
+format (rank, ASN, customer degree, cone size) and parses it back, so the
+size classification can run off files exactly as it would off the real
+dataset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import DatasetError
+from repro.topology.classify import SizeClass, classify_size
+from repro.topology.model import ASTopology
+
+__all__ = ["ASRankRecord", "build_asrank", "serialize_asrank", "parse_asrank"]
+
+_HEADER = "# rank|asn|customer_degree|cone_size"
+
+
+@dataclass(frozen=True)
+class ASRankRecord:
+    """One AS's row in the AS Rank dataset."""
+
+    rank: int
+    asn: int
+    customer_degree: int
+    cone_size: int
+
+    @property
+    def size_class(self) -> SizeClass:
+        """The §6.2 size class implied by the customer degree."""
+        return classify_size(self.customer_degree)
+
+
+def build_asrank(topology: ASTopology) -> list[ASRankRecord]:
+    """Compute the dataset from a topology, ordered by rank."""
+    records = [
+        ASRankRecord(
+            rank=topology.as_rank(asn),
+            asn=asn,
+            customer_degree=topology.customer_degree(asn),
+            cone_size=len(topology.customer_cone(asn)),
+        )
+        for asn in topology.asns
+    ]
+    records.sort(key=lambda record: record.rank)
+    return records
+
+
+def serialize_asrank(records: list[ASRankRecord]) -> str:
+    """Render the pipe-separated AS Rank format."""
+    lines = [_HEADER]
+    for record in records:
+        lines.append(
+            f"{record.rank}|{record.asn}|{record.customer_degree}|"
+            f"{record.cone_size}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def parse_asrank(text: str) -> list[ASRankRecord]:
+    """Parse the format produced by :func:`serialize_asrank`."""
+    records = []
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        fields = line.split("|")
+        if len(fields) != 4:
+            raise DatasetError(f"bad AS Rank record at line {line_number}")
+        try:
+            rank, asn, degree, cone = (int(field) for field in fields)
+        except ValueError as exc:
+            raise DatasetError(
+                f"bad AS Rank record at line {line_number}: {line!r}"
+            ) from exc
+        if degree < 0 or cone < 1 or rank < 1:
+            raise DatasetError(
+                f"out-of-range AS Rank record at line {line_number}"
+            )
+        records.append(
+            ASRankRecord(
+                rank=rank, asn=asn, customer_degree=degree, cone_size=cone
+            )
+        )
+    return records

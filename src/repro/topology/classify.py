@@ -1,0 +1,45 @@
+"""Network size classification (§6.2 of the paper).
+
+ASes are grouped into *small* / *medium* / *large* by their number of
+AS-level customers, using the thresholds of Dhamdhere & Dovrolis that the
+paper adopts: small ≤ 2, medium ≤ 180, large > 180.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from repro.topology.model import ASTopology
+
+__all__ = ["SizeClass", "classify_size", "classify_all"]
+
+#: Customer-degree thresholds from Dhamdhere et al. (2011), as used in §6.2.
+SMALL_MAX_CUSTOMERS = 2
+MEDIUM_MAX_CUSTOMERS = 180
+
+
+class SizeClass(str, Enum):
+    """Customer-degree size class of an AS."""
+
+    SMALL = "small"
+    MEDIUM = "medium"
+    LARGE = "large"
+
+
+def classify_size(customer_degree: int) -> SizeClass:
+    """Map a customer degree to its size class."""
+    if customer_degree < 0:
+        raise ValueError(f"negative customer degree {customer_degree}")
+    if customer_degree <= SMALL_MAX_CUSTOMERS:
+        return SizeClass.SMALL
+    if customer_degree <= MEDIUM_MAX_CUSTOMERS:
+        return SizeClass.MEDIUM
+    return SizeClass.LARGE
+
+
+def classify_all(topology: ASTopology) -> dict[int, SizeClass]:
+    """Size class for every AS in the topology."""
+    return {
+        asn: classify_size(topology.customer_degree(asn))
+        for asn in topology.asns
+    }

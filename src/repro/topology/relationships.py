@@ -1,0 +1,60 @@
+"""AS-relationship dataset serialisation (CAIDA format substitute).
+
+CAIDA's serial-1 AS-relationship files are pipe-separated triples
+``<a>|<b>|<rel>`` where rel is -1 (a is b's provider) or 0 (peers).  The
+paper uses this dataset to find each AS's direct customers for the Action 1
+analysis (§6.4); we emit and parse the same format so downstream code can
+run off files exactly as it would off the real dataset.
+"""
+
+from __future__ import annotations
+
+from repro.errors import DatasetError
+from repro.topology.model import ASTopology, Relationship
+
+__all__ = ["serialize_relationships", "parse_relationships"]
+
+
+def serialize_relationships(topology: ASTopology) -> str:
+    """Render all edges in CAIDA serial-1 format (with a header comment)."""
+    lines = ["# <provider-as>|<customer-as>|-1  or  <peer-as>|<peer-as>|0"]
+    for a, b, relationship in topology.edges():
+        lines.append(f"{a}|{b}|{relationship.value}")
+    return "\n".join(lines) + "\n"
+
+
+def parse_relationships(text: str) -> list[tuple[int, int, Relationship]]:
+    """Parse serial-1 relationship records into edge triples."""
+    edges: list[tuple[int, int, Relationship]] = []
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        fields = line.split("|")
+        if len(fields) != 3:
+            raise DatasetError(f"bad relationship record at line {line_number}")
+        try:
+            a, b, rel_value = int(fields[0]), int(fields[1]), int(fields[2])
+        except ValueError as exc:
+            raise DatasetError(
+                f"non-numeric relationship record at line {line_number}"
+            ) from exc
+        try:
+            relationship = Relationship(rel_value)
+        except ValueError as exc:
+            raise DatasetError(
+                f"unknown relationship {rel_value} at line {line_number}"
+            ) from exc
+        edges.append((a, b, relationship))
+    return edges
+
+
+def customers_by_provider(
+    edges: list[tuple[int, int, Relationship]],
+) -> dict[int, frozenset[int]]:
+    """Direct-customer sets from parsed relationship records."""
+    customers: dict[int, set[int]] = {}
+    for a, b, relationship in edges:
+        if relationship is Relationship.PROVIDER_CUSTOMER:
+            customers.setdefault(a, set()).add(b)
+    return {asn: frozenset(custs) for asn, custs in customers.items()}

@@ -1,0 +1,26 @@
+"""Shared fixtures: session-scoped worlds so expensive builds run once.
+
+``small_world`` (~1k ASes) is for integration tests of the pipeline;
+``mid_world`` (~4k ASes) is for the statistical shape tests that need
+enough ASes per population.  Unit tests build their own tiny inputs and
+should not use these.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scenario.build import build_world
+from repro.scenario.world import World
+
+
+@pytest.fixture(scope="session")
+def small_world() -> World:
+    """A ~1k-AS world for fast integration tests."""
+    return build_world(scale=0.12, seed=11)
+
+
+@pytest.fixture(scope="session")
+def mid_world() -> World:
+    """A ~4k-AS world for statistical shape tests."""
+    return build_world(scale=0.45, seed=7)

@@ -1,0 +1,98 @@
+"""Unit tests for the as2org and AS-relationship dataset codecs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DatasetError
+from repro.registry.rir import RIR
+from repro.topology.as2org import As2Org, parse_as2org, serialize_as2org
+from repro.topology.model import (
+    ASCategory,
+    ASTopology,
+    AutonomousSystem,
+    Organization,
+    Relationship,
+)
+from repro.topology.relationships import (
+    customers_by_provider,
+    parse_relationships,
+    serialize_relationships,
+)
+
+
+def build_topology() -> ASTopology:
+    topo = ASTopology()
+    topo.add_org(Organization("O1", "Alpha", "US"))
+    topo.add_org(Organization("O2", "Beta", "DE"))
+    for asn, org in ((10, "O1"), (11, "O1"), (20, "O2")):
+        topo.add_as(
+            AutonomousSystem(asn, org, "US", RIR.ARIN, ASCategory.STUB)
+        )
+    topo.add_link(10, 20, Relationship.PROVIDER_CUSTOMER)
+    topo.add_link(10, 11, Relationship.PEER)
+    return topo
+
+
+class TestAs2Org:
+    def test_from_topology(self):
+        snapshot = As2Org.from_topology(build_topology())
+        assert snapshot.org_of[10] == "O1"
+        assert snapshot.asns_of["O1"] == (10, 11)
+        assert snapshot.siblings(10) == {11}
+        assert snapshot.same_org(10, 11)
+        assert not snapshot.same_org(10, 20)
+
+    def test_unknown_asn_has_no_siblings(self):
+        snapshot = As2Org.from_topology(build_topology())
+        assert snapshot.siblings(999) == frozenset()
+        assert not snapshot.same_org(999, 998)
+
+    def test_roundtrip(self):
+        snapshot = As2Org.from_topology(build_topology())
+        recovered = parse_as2org(serialize_as2org(snapshot))
+        assert recovered.org_of == snapshot.org_of
+        assert recovered.asns_of == snapshot.asns_of
+        assert recovered.org_names == snapshot.org_names
+
+    def test_parse_rejects_record_before_header(self):
+        with pytest.raises(DatasetError):
+            parse_as2org("O1|Alpha|US\n")
+
+    def test_parse_rejects_unknown_org_reference(self):
+        text = "# format:org_id|name|country\n# format:aut|org_id\n10|O9\n"
+        with pytest.raises(DatasetError):
+            parse_as2org(text)
+
+    def test_parse_rejects_bad_asn(self):
+        text = (
+            "# format:org_id|name|country\nO1|Alpha|US\n"
+            "# format:aut|org_id\nxx|O1\n"
+        )
+        with pytest.raises(DatasetError):
+            parse_as2org(text)
+
+
+class TestRelationships:
+    def test_roundtrip(self):
+        topo = build_topology()
+        edges = parse_relationships(serialize_relationships(topo))
+        assert (10, 20, Relationship.PROVIDER_CUSTOMER) in edges
+        assert (10, 11, Relationship.PEER) in edges
+
+    def test_customers_by_provider(self):
+        topo = build_topology()
+        edges = parse_relationships(serialize_relationships(topo))
+        customers = customers_by_provider(edges)
+        assert customers[10] == {20}
+        assert 11 not in customers
+
+    def test_parse_skips_comments_and_blanks(self):
+        assert parse_relationships("# hi\n\n1|2|-1\n") == [
+            (1, 2, Relationship.PROVIDER_CUSTOMER)
+        ]
+
+    @pytest.mark.parametrize("bad", ["1|2", "a|b|-1", "1|2|5"])
+    def test_parse_rejects_malformed(self, bad):
+        with pytest.raises(DatasetError):
+            parse_relationships(bad)

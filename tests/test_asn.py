@@ -1,0 +1,92 @@
+"""Unit tests for AS number utilities."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ASNError
+from repro.net.asn import (
+    AS_TRANS,
+    MAX_ASN,
+    format_as_path,
+    format_asn,
+    is_private_asn,
+    is_reserved_asn,
+    parse_as_path,
+    parse_asn,
+    strip_prepending,
+    validate_asn,
+)
+
+
+class TestValidation:
+    def test_accepts_bounds(self):
+        assert validate_asn(0) == 0
+        assert validate_asn(MAX_ASN) == MAX_ASN
+
+    @pytest.mark.parametrize("bad", [-1, MAX_ASN + 1])
+    def test_rejects_out_of_range(self, bad):
+        with pytest.raises(ASNError):
+            validate_asn(bad)
+
+    def test_rejects_bool(self):
+        with pytest.raises(ASNError):
+            validate_asn(True)
+
+    def test_rejects_non_int(self):
+        with pytest.raises(ASNError):
+            validate_asn("65001")  # type: ignore[arg-type]
+
+
+class TestParsing:
+    @pytest.mark.parametrize("text", ["AS65001", "as65001", "65001", " AS65001 "])
+    def test_parse_variants(self, text):
+        assert parse_asn(text) == 65001
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ASNError):
+            parse_asn("ASX")
+
+    def test_format(self):
+        assert format_asn(65001) == "AS65001"
+
+    def test_path_roundtrip(self):
+        path = (3356, 174, 65001)
+        assert parse_as_path(format_as_path(path)) == path
+
+    def test_parse_empty_path(self):
+        assert parse_as_path("  ") == ()
+
+
+class TestPrepending:
+    def test_strip_collapses_runs(self):
+        assert strip_prepending([1, 1, 1, 2, 3, 3]) == (1, 2, 3)
+
+    def test_strip_keeps_nonadjacent_duplicates(self):
+        assert strip_prepending([1, 2, 1]) == (1, 2, 1)
+
+    def test_strip_empty(self):
+        assert strip_prepending([]) == ()
+
+
+class TestSpecialRanges:
+    def test_private_ranges(self):
+        assert is_private_asn(64512)
+        assert is_private_asn(65534)
+        assert is_private_asn(4200000000)
+        assert not is_private_asn(3356)
+
+    def test_reserved(self):
+        assert is_reserved_asn(0)
+        assert is_reserved_asn(AS_TRANS)
+        assert is_reserved_asn(MAX_ASN)
+        assert not is_reserved_asn(15169)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=MAX_ASN), max_size=20))
+def test_strip_prepending_idempotent(path):
+    once = strip_prepending(path)
+    assert strip_prepending(once) == once
+    # stripped path preserves the set of ASes
+    assert set(once) == set(path)

@@ -1,0 +1,71 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["report"])
+        assert args.scale == 0.2
+        assert args.seed == 42
+        assert args.command == "report"
+
+    def test_hijack_flags(self):
+        args = build_parser().parse_args(
+            ["hijack", "--sub-prefix", "--protected"]
+        )
+        assert args.sub_prefix and args.protected
+
+
+class TestCommands:
+    ARGS = ["--scale", "0.06", "--seed", "3"]
+
+    def test_report(self, capsys):
+        assert main(self.ARGS + ["report"]) == 0
+        out = capsys.readouterr().out
+        assert "MANRS ecosystem report" in out
+        assert "Action 4" in out
+
+    def test_audit(self, capsys):
+        assert main(self.ARGS + ["audit"]) == 0
+        out = capsys.readouterr().out
+        assert "organisations unconformant" in out
+
+    def test_export(self, capsys, tmp_path):
+        target = tmp_path / "data"
+        assert main(self.ARGS + ["export", str(target)]) == 0
+        assert (target / "prefix2as.txt").exists()
+        assert (target / "vrps.csv").exists()
+
+    def test_hijack(self, capsys):
+        assert main(self.ARGS + ["hijack"]) == 0
+        out = capsys.readouterr().out
+        assert "vantage points captured" in out
+
+    def test_hijack_protected_subprefix(self, capsys):
+        assert main(self.ARGS + ["hijack", "--sub-prefix", "--protected"]) == 0
+        out = capsys.readouterr().out
+        assert "sub_prefix" in out
+
+    def test_reproduce(self, capsys):
+        assert main(self.ARGS + ["reproduce"]) == 0
+        out = capsys.readouterr().out
+        for marker in ("Figure 2", "Figure 9", "Table 1", "Table 2"):
+            assert marker in out
+
+
+    def test_ready_known_as(self, capsys):
+        assert main(self.ARGS + ["ready", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "Action 4" in out and "Action 1" in out
+
+    def test_ready_unknown_as(self, capsys):
+        assert main(self.ARGS + ["ready", "999999"]) == 1

@@ -1,0 +1,116 @@
+"""Unit tests for participation, impact, case-study, stability, stats."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.impact import preference_scores, rpki_saturation
+from repro.core.stability import (
+    StabilityClass,
+    conformance_stability,
+)
+from repro.core.stats import make_cdf
+from repro.ihr.records import IHRDataset, TransitGroup, TransitInfo
+from repro.irr.validation import IRRStatus
+from repro.net.prefix import Prefix
+from repro.rpki.rov import RPKIStatus
+
+
+class TestCDF:
+    def test_fractions(self):
+        cdf = make_cdf([0.0, 1.0, 2.0, 3.0])
+        assert cdf.n == 4
+        assert cdf.fraction_at_most(1.0) == pytest.approx(0.5)
+        assert cdf.fraction_above(1.0) == pytest.approx(0.5)
+        assert cdf.fraction_at_most(-1.0) == 0.0
+        assert cdf.fraction_at_most(99.0) == 1.0
+
+    def test_percentiles(self):
+        cdf = make_cdf([10.0, 20.0, 30.0])
+        assert cdf.median == pytest.approx(20.0)
+        assert cdf.maximum == 30.0
+        assert cdf.mean == pytest.approx(20.0)
+
+    def test_variance(self):
+        assert make_cdf([0.0, 10.0]).variance == pytest.approx(25.0)
+
+    def test_empty_cdf(self):
+        cdf = make_cdf([])
+        assert cdf.fraction_at_most(1.0) == 0.0
+        with pytest.raises(ValueError):
+            cdf.median
+
+    def test_series(self):
+        cdf = make_cdf([5.0, 1.0])
+        assert cdf.series() == [(1.0, 0.5), (5.0, 1.0)]
+
+
+class TestStability:
+    def test_classification(self):
+        snapshots = [
+            {1: True, 2: False, 3: True},
+            {1: True, 2: False, 3: False},
+        ]
+        report = conformance_stability(snapshots)
+        assert report.classification[1] is StabilityClass.ALWAYS_CONFORMANT
+        assert report.classification[2] is StabilityClass.ALWAYS_UNCONFORMANT
+        assert report.classification[3] is StabilityClass.FLAPPING
+        assert report.always_conformant == 1
+        assert report.always_unconformant == 1
+        assert report.flapping == 1
+
+    def test_partial_presence(self):
+        snapshots = [{1: True}, {2: False}]
+        report = conformance_stability(snapshots)
+        assert report.classification[1] is StabilityClass.ALWAYS_CONFORMANT
+        assert report.classification[2] is StabilityClass.ALWAYS_UNCONFORMANT
+
+    def test_requires_snapshots(self):
+        with pytest.raises(ValueError):
+            conformance_stability([])
+
+
+def _dataset_with_groups() -> IHRDataset:
+    prefix_a = Prefix.parse("12.0.0.0/16")
+    prefix_b = Prefix.parse("12.1.0.0/16")
+    groups = [
+        TransitGroup(
+            origin=100,
+            prefixes=(prefix_a,),
+            statuses=((RPKIStatus.VALID, IRRStatus.VALID),),
+            transits={
+                1: TransitInfo(hegemony=1.0, from_customer=True),   # member
+                2: TransitInfo(hegemony=0.4, from_customer=False),  # other
+            },
+            visibility=10,
+        ),
+        TransitGroup(
+            origin=101,
+            prefixes=(prefix_b,),
+            statuses=((RPKIStatus.INVALID_ASN, IRRStatus.NOT_FOUND),),
+            transits={2: TransitInfo(hegemony=0.9, from_customer=True)},
+            visibility=4,
+        ),
+    ]
+    return IHRDataset(prefix_origins=[], transit_groups=groups)
+
+
+class TestPreferenceScores:
+    def test_scores_by_status(self):
+        scores = preference_scores(_dataset_with_groups(), frozenset({1}))
+        assert scores["valid"] == [pytest.approx(0.6)]
+        assert scores["invalid"] == [pytest.approx(-0.9)]
+        assert scores["not_found"] == []
+
+
+class TestSaturation:
+    def test_split_by_membership(self, small_world):
+        members = small_world.members()
+        manrs_report, other_report = rpki_saturation(
+            small_world.prefix2as, small_world.rov, members
+        )
+        assert manrs_report.routed_space > 0
+        assert other_report.routed_space > 0
+        assert 0 <= manrs_report.saturation <= 100
+        assert 0 <= other_report.saturation <= 100
+        assert manrs_report.covered_space <= manrs_report.routed_space

@@ -1,0 +1,140 @@
+"""Unit tests for §6 conformance metrics and classification."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.classification import is_conformant, is_unconformant
+from repro.core.conformance import (
+    OriginationStats,
+    PropagationStats,
+    is_action1_fully_conformant,
+    is_action4_conformant,
+)
+from repro.irr.validation import IRRStatus
+from repro.manrs.actions import Program
+from repro.rpki.rov import RPKIStatus
+
+R = RPKIStatus
+I = IRRStatus
+
+
+class TestClassification:
+    @pytest.mark.parametrize(
+        "rpki,irr,conformant",
+        [
+            (R.VALID, I.NOT_FOUND, True),
+            (R.VALID, I.INVALID_ORIGIN, True),
+            (R.NOT_FOUND, I.VALID, True),
+            (R.NOT_FOUND, I.INVALID_LENGTH, True),  # §3 TE allowance
+            (R.NOT_FOUND, I.NOT_FOUND, False),
+            (R.NOT_FOUND, I.INVALID_ORIGIN, False),
+            (R.INVALID_ASN, I.VALID, True),  # IRR Valid still conformant
+            (R.INVALID_ASN, I.NOT_FOUND, False),
+            (R.INVALID_LENGTH, I.NOT_FOUND, False),
+        ],
+    )
+    def test_is_conformant(self, rpki, irr, conformant):
+        assert is_conformant(rpki, irr) == conformant
+
+    @pytest.mark.parametrize(
+        "rpki,irr,unconformant",
+        [
+            (R.INVALID_ASN, I.VALID, True),      # RPKI Invalid is absolute
+            (R.INVALID_LENGTH, I.VALID, True),
+            (R.NOT_FOUND, I.INVALID_ORIGIN, True),
+            (R.NOT_FOUND, I.INVALID_LENGTH, False),
+            (R.NOT_FOUND, I.NOT_FOUND, False),   # neither bucket
+            (R.VALID, I.INVALID_ORIGIN, False),
+        ],
+    )
+    def test_is_unconformant(self, rpki, irr, unconformant):
+        assert is_unconformant(rpki, irr) == unconformant
+
+    def test_both_not_found_is_neither(self):
+        assert not is_conformant(R.NOT_FOUND, I.NOT_FOUND)
+        assert not is_unconformant(R.NOT_FOUND, I.NOT_FOUND)
+
+
+class TestOriginationStats:
+    def test_formulas(self):
+        stats = OriginationStats()
+        stats.add(R.VALID, I.VALID)
+        stats.add(R.NOT_FOUND, I.INVALID_ORIGIN)
+        stats.add(R.NOT_FOUND, I.NOT_FOUND)
+        stats.add(R.INVALID_ASN, I.VALID)
+        assert stats.total == 4
+        assert stats.og_rpki_valid == pytest.approx(25.0)
+        assert stats.og_irr_valid == pytest.approx(50.0)
+        assert stats.og_conformant == pytest.approx(50.0)
+        assert stats.unconformant == 2
+
+    def test_empty_percentages_are_zero(self):
+        stats = OriginationStats()
+        assert stats.og_rpki_valid == 0.0
+        assert stats.og_conformant == 0.0
+
+    def test_mode_flags(self):
+        all_valid = OriginationStats()
+        all_valid.add(R.VALID, I.VALID)
+        assert all_valid.only_rpki_valid and not all_valid.no_rpki_valid
+
+        none_valid = OriginationStats()
+        none_valid.add(R.NOT_FOUND, I.VALID)
+        assert none_valid.no_rpki_valid and not none_valid.only_rpki_valid
+
+    def test_irr_only_registration(self):
+        stats = OriginationStats()
+        stats.add(R.NOT_FOUND, I.VALID)
+        assert stats.irr_only_registration
+        stats.add(R.VALID, I.VALID)
+        assert not stats.irr_only_registration
+
+
+class TestPropagationStats:
+    def test_formulas(self):
+        stats = PropagationStats()
+        stats.add(R.INVALID_ASN, I.NOT_FOUND, from_customer=True)
+        stats.add(R.INVALID_LENGTH, I.VALID, from_customer=False)
+        stats.add(R.VALID, I.INVALID_ORIGIN, from_customer=True)
+        stats.add(R.NOT_FOUND, I.VALID, from_customer=True)
+        assert stats.total == 4
+        # Formula 4 counts both invalid flavours
+        assert stats.pg_rpki_invalid == pytest.approx(50.0)
+        assert stats.pg_irr_invalid == pytest.approx(25.0)
+        # customer unconformant: only the first row
+        assert stats.customer_total == 3
+        assert stats.pg_unconformant == pytest.approx(100.0 / 3.0)
+
+    def test_zero_denominators(self):
+        stats = PropagationStats()
+        assert stats.pg_rpki_invalid == 0.0
+        assert stats.pg_unconformant == 0.0
+
+
+class TestActionVerdicts:
+    def test_action4_isp_threshold(self):
+        stats = OriginationStats()
+        for _ in range(9):
+            stats.add(R.VALID, I.VALID)
+        stats.add(R.NOT_FOUND, I.NOT_FOUND)
+        assert stats.og_conformant == pytest.approx(90.0)
+        assert is_action4_conformant(stats, Program.ISP)
+        assert not is_action4_conformant(stats, Program.CDN)
+
+    def test_action4_trivial(self):
+        assert is_action4_conformant(None, Program.ISP)
+        assert is_action4_conformant(OriginationStats(), Program.CDN)
+
+    def test_action1_full_conformance(self):
+        stats = PropagationStats()
+        stats.add(R.VALID, I.VALID, from_customer=True)
+        assert is_action1_fully_conformant(stats)
+        stats.add(R.INVALID_ASN, I.NOT_FOUND, from_customer=True)
+        assert not is_action1_fully_conformant(stats)
+
+    def test_action1_trivial_without_customer_transit(self):
+        assert is_action1_fully_conformant(None)
+        stats = PropagationStats()
+        stats.add(R.INVALID_ASN, I.NOT_FOUND, from_customer=False)
+        assert is_action1_fully_conformant(stats)

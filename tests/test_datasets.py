@@ -1,0 +1,93 @@
+"""Tests for whole-world dataset export/import."""
+
+from __future__ import annotations
+
+from repro.datasets.store import export_world, load_bundle
+
+
+class TestExportImport:
+    def test_roundtrip_counts(self, small_world, tmp_path):
+        export_world(small_world, tmp_path)
+        bundle = load_bundle(tmp_path)
+        assert len(bundle.prefix2as) == len(small_world.prefix2as)
+        assert len(bundle.vrps) == len(small_world.rov)
+        assert bundle.irr.route_count == small_world.irr.route_count
+        assert len(bundle.manrs.participants) == len(
+            small_world.manrs.participants
+        )
+        assert bundle.as2org.org_of == small_world.as2org.org_of
+
+    def test_expected_files_written(self, small_world, tmp_path):
+        export_world(small_world, tmp_path)
+        names = {p.name for p in tmp_path.iterdir()}
+        assert "prefix2as.txt" in names
+        assert "as2org.txt" in names
+        assert "as-rel.txt" in names
+        assert "vrps.csv" in names
+        assert "manrs-participants.csv" in names
+        assert any(name.endswith(".irr.txt") for name in names)
+
+    def test_reloaded_data_reproduces_validation(self, small_world, tmp_path):
+        """Running ROV off the exported VRP file gives the same statuses
+        as the in-memory validator."""
+        from repro.rpki.rov import ROVValidator
+
+        export_world(small_world, tmp_path)
+        bundle = load_bundle(tmp_path)
+        reloaded = ROVValidator(bundle.vrps)
+        for record in small_world.ihr.prefix_origins[:100]:
+            assert (
+                reloaded.validate(record.prefix, record.origin) is record.rpki
+            )
+
+    def test_reloaded_irr_reproduces_validation(self, small_world, tmp_path):
+        from repro.irr.validation import validate_irr
+
+        export_world(small_world, tmp_path)
+        bundle = load_bundle(tmp_path)
+        for record in small_world.ihr.prefix_origins[:100]:
+            assert (
+                validate_irr(bundle.irr, record.prefix, record.origin)
+                is record.irr
+            )
+
+
+class TestASRankDataset:
+    def test_roundtrip_and_size_classes(self, small_world):
+        from repro.topology.asrank import (
+            build_asrank,
+            parse_asrank,
+            serialize_asrank,
+        )
+
+        records = build_asrank(small_world.topology)
+        recovered = parse_asrank(serialize_asrank(records))
+        assert recovered == records
+        # The file-derived size classes match the in-memory ones.
+        for record in recovered[:200]:
+            assert record.size_class is small_world.size_of[record.asn]
+
+    def test_rank_one_has_biggest_cone(self, small_world):
+        from repro.topology.asrank import build_asrank
+
+        records = build_asrank(small_world.topology)
+        assert records[0].rank == 1
+        assert records[0].cone_size == max(r.cone_size for r in records)
+
+    def test_parse_rejects_malformed(self):
+        import pytest
+
+        from repro.errors import DatasetError
+        from repro.topology.asrank import parse_asrank
+
+        with pytest.raises(DatasetError):
+            parse_asrank("1|2|3\n")
+        with pytest.raises(DatasetError):
+            parse_asrank("1|2|-1|5\n")
+
+    def test_asrank_in_export(self, small_world, tmp_path):
+        from repro.datasets.store import export_world, load_bundle
+
+        export_world(small_world, tmp_path)
+        bundle = load_bundle(tmp_path)
+        assert len(bundle.asrank) == len(small_world.topology)

@@ -1,0 +1,102 @@
+"""Unit tests for the origin-hijack simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bgp.announcement import Announcement
+from repro.bgp.hijack import HijackKind, simulate_hijack
+from repro.bgp.policy import ASPolicy, RouteClass
+from repro.bgp.propagation import PropagationEngine
+from repro.errors import ReproError
+from repro.net.prefix import Prefix
+from repro.registry.rir import RIR
+from repro.topology.model import (
+    ASCategory,
+    ASTopology,
+    AutonomousSystem,
+    Organization,
+    Relationship,
+)
+
+
+def diamond() -> ASTopology:
+    """Victim 10 under provider 1; attacker 20 under provider 2; the
+    providers peer; observers 30 (customer of 1) and 40 (customer of 2)."""
+    topo = ASTopology()
+    topo.add_org(Organization("O", "Org", "US"))
+    for asn in (1, 2, 10, 20, 30, 40):
+        topo.add_as(AutonomousSystem(asn, "O", "US", RIR.ARIN, ASCategory.STUB))
+    topo.add_link(1, 2, Relationship.PEER)
+    topo.add_link(1, 10, Relationship.PROVIDER_CUSTOMER)
+    topo.add_link(2, 20, Relationship.PROVIDER_CUSTOMER)
+    topo.add_link(1, 30, Relationship.PROVIDER_CUSTOMER)
+    topo.add_link(2, 40, Relationship.PROVIDER_CUSTOMER)
+    return topo
+
+
+VICTIM = Announcement(Prefix.parse("12.0.0.0/16"), 10)
+VPS = (30, 40)
+
+
+class TestExactHijack:
+    def test_proximity_splits_the_internet(self):
+        engine = PropagationEngine(diamond())
+        outcome = simulate_hijack(engine, VICTIM, 20, VPS)
+        # 30 is closer to the victim, 40 closer to the attacker.
+        assert outcome.captured == {30: False, 40: True}
+        assert outcome.capture_fraction == 0.5
+
+    def test_rov_everywhere_stops_hijack(self):
+        policies = {asn: ASPolicy(rov=True) for asn in (1, 2, 30, 40)}
+        engine = PropagationEngine(diamond(), policies)
+        outcome = simulate_hijack(
+            engine,
+            VICTIM,
+            20,
+            VPS,
+            hijack_route_class=RouteClass(rpki_invalid=True),
+        )
+        assert outcome.capture_fraction == 0.0
+
+    def test_unprotected_hijack_unaffected_by_rov(self):
+        # Victim without a ROA: the hijack is NotFound, ROV is powerless.
+        policies = {asn: ASPolicy(rov=True) for asn in (1, 2)}
+        engine = PropagationEngine(diamond(), policies)
+        outcome = simulate_hijack(engine, VICTIM, 20, VPS)
+        assert outcome.capture_fraction == 0.5
+
+
+class TestSubPrefixHijack:
+    def test_more_specific_always_wins_where_visible(self):
+        engine = PropagationEngine(diamond())
+        outcome = simulate_hijack(
+            engine, VICTIM, 20, VPS, kind=HijackKind.SUB_PREFIX
+        )
+        assert outcome.capture_fraction == 1.0
+        assert outcome.attacker_announcement.prefix.length == 17
+
+    def test_rov_blocks_subprefix_hijack(self):
+        policies = {asn: ASPolicy(rov=True) for asn in (1, 2)}
+        engine = PropagationEngine(diamond(), policies)
+        outcome = simulate_hijack(
+            engine,
+            VICTIM,
+            20,
+            VPS,
+            kind=HijackKind.SUB_PREFIX,
+            hijack_route_class=RouteClass(rpki_invalid=True),
+        )
+        assert outcome.capture_fraction == 0.0
+
+    def test_host_prefix_cannot_deaggregate(self):
+        engine = PropagationEngine(diamond())
+        host = Announcement(Prefix.parse("12.0.0.1/32"), 10)
+        with pytest.raises(ReproError):
+            simulate_hijack(engine, host, 20, VPS, kind=HijackKind.SUB_PREFIX)
+
+
+def test_attacker_must_differ_from_victim():
+    engine = PropagationEngine(diamond())
+    with pytest.raises(ReproError):
+        simulate_hijack(engine, VICTIM, 10, VPS)

@@ -1,0 +1,165 @@
+"""Unit tests for MANRS actions, registry, and recruitment."""
+
+from __future__ import annotations
+
+from datetime import date
+
+import pytest
+
+from repro.errors import DatasetError
+from repro.manrs.actions import (
+    ACTIONS,
+    Action,
+    Program,
+    action4_threshold,
+)
+from repro.manrs.recruitment import RecruitmentConfig, recruit
+from repro.manrs.registry import (
+    MANRSRegistry,
+    Participant,
+    parse_participants,
+    serialize_participants,
+)
+from repro.topology.generator import TopologyConfig, generate_topology
+
+
+class TestActions:
+    def test_catalogue_covers_both_programs(self):
+        isp_actions = [a for a in ACTIONS if a.program is Program.ISP]
+        cdn_actions = [a for a in ACTIONS if a.program is Program.CDN]
+        assert len(isp_actions) == 4
+        assert len(cdn_actions) == 6
+
+    def test_isp_action2_optional_cdn_action2_mandatory(self):
+        def get(program: Program, number: int) -> Action:
+            return next(
+                a for a in ACTIONS if a.program is program and a.number == number
+            )
+
+        assert not get(Program.ISP, 2).mandatory
+        assert get(Program.CDN, 2).mandatory
+
+    def test_thresholds(self):
+        assert action4_threshold(Program.ISP) == 90.0
+        assert action4_threshold(Program.CDN) == 100.0
+        with pytest.raises(ValueError):
+            action4_threshold(Program.IXP)
+
+
+class TestRegistry:
+    def _registry(self) -> MANRSRegistry:
+        registry = MANRSRegistry()
+        registry.add(
+            Participant("O1", Program.ISP, (10, 11), date(2018, 3, 1))
+        )
+        registry.add(Participant("O2", Program.CDN, (20,), date(2021, 6, 1)))
+        return registry
+
+    def test_membership_by_date(self):
+        registry = self._registry()
+        assert registry.is_member(10, date(2019, 1, 1))
+        assert not registry.is_member(20, date(2019, 1, 1))
+        assert registry.is_member(20, date(2022, 1, 1))
+        assert not registry.is_member(99)
+
+    def test_member_asns_filters(self):
+        registry = self._registry()
+        assert registry.member_asns(as_of=date(2019, 1, 1)) == {10, 11}
+        assert registry.member_asns(program=Program.CDN) == {20}
+
+    def test_program_of(self):
+        registry = self._registry()
+        assert registry.program_of(10) is Program.ISP
+        assert registry.program_of(20) is Program.CDN
+        assert registry.program_of(20, date(2020, 1, 1)) is None
+        assert registry.program_of(99) is None
+
+    def test_duplicate_membership_rejected(self):
+        registry = self._registry()
+        with pytest.raises(DatasetError):
+            registry.add(
+                Participant("O1", Program.ISP, (12,), date(2020, 1, 1))
+            )
+
+    def test_org_may_join_both_programs(self):
+        registry = self._registry()
+        registry.add(Participant("O1", Program.CDN, (10,), date(2021, 1, 1)))
+        assert registry.program_of(10) is Program.ISP  # ISP wins ties
+
+    def test_empty_asn_list_rejected(self):
+        with pytest.raises(DatasetError):
+            Participant("O1", Program.ISP, (), date(2020, 1, 1))
+
+    def test_member_orgs(self):
+        registry = self._registry()
+        assert registry.member_orgs(date(2019, 1, 1)) == {"O1"}
+
+    def test_participant_for_org(self):
+        registry = self._registry()
+        assert registry.participant_for_org("O1") is not None
+        assert registry.participant_for_org("O1", Program.CDN) is None
+
+    def test_csv_roundtrip(self):
+        registry = self._registry()
+        recovered = parse_participants(serialize_participants(registry))
+        assert recovered.participants == registry.participants
+
+    def test_parse_requires_header(self):
+        with pytest.raises(DatasetError):
+            parse_participants("bogus\n")
+
+    def test_parse_rejects_malformed_record(self):
+        text = "org_id,program,joined,asns\nO1,isp,not-a-date,10\n"
+        with pytest.raises(DatasetError):
+            parse_participants(text)
+
+
+class TestRecruitment:
+    @pytest.fixture(scope="class")
+    def topology(self):
+        return generate_topology(TopologyConfig().scaled(0.3), seed=5).topology
+
+    def test_deterministic(self, topology):
+        a = recruit(topology, seed=1)
+        b = recruit(topology, seed=1)
+        assert a.participants == b.participants
+
+    def test_growth_is_monotone(self, topology):
+        registry = recruit(topology, seed=1)
+        counts = [
+            len(registry.member_orgs(as_of=date(year, 12, 31)))
+            for year in range(2015, 2023)
+        ]
+        assert counts == sorted(counts)
+        assert counts[-1] > 0
+
+    def test_wave_year_jump(self, topology):
+        """The 2020 wave (Brazil outreach + CDN program) is the largest
+        single-year increment."""
+        registry = recruit(topology, seed=1)
+        counts = [
+            len(registry.member_orgs(as_of=date(year, 12, 31)))
+            for year in range(2015, 2023)
+        ]
+        increments = [b - a for a, b in zip(counts, counts[1:])]
+        assert max(increments) == increments[2020 - 2016]
+
+    def test_cdn_program_starts_2020(self, topology):
+        registry = recruit(topology, seed=1)
+        for participant in registry.participants_in(Program.CDN):
+            assert participant.joined.year >= 2020
+
+    def test_registered_asns_belong_to_org(self, topology):
+        registry = recruit(topology, seed=1)
+        for participant in registry.participants:
+            org_asns = set(topology.get_org(participant.org_id).asns)
+            assert set(participant.asns) <= org_asns
+
+    def test_join_probability_zero_recruits_nobody(self, topology):
+        config = RecruitmentConfig(
+            join_probability={category: 0.0 for category in RecruitmentConfig().join_probability},
+            brazil_wave_probability=0.0,
+        )
+        registry = recruit(topology, config, seed=1)
+        # only the forced APNIC flagship can remain
+        assert len(registry.participants) <= 1

@@ -1,0 +1,229 @@
+"""Unit and property tests for repro.net.prefix."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import PrefixError
+from repro.net.prefix import Prefix, aggregate_address_count, coalesce
+
+
+class TestParsing:
+    def test_parse_ipv4(self):
+        p = Prefix.parse("10.0.0.0/8")
+        assert p.version == 4
+        assert p.length == 8
+        assert p.network_address == "10.0.0.0"
+        assert str(p) == "10.0.0.0/8"
+
+    def test_parse_bare_address_is_host_prefix(self):
+        assert Prefix.parse("192.0.2.1").length == 32
+        assert Prefix.parse("2001:db8::1").length == 128
+
+    def test_parse_ipv6_compressed(self):
+        p = Prefix.parse("2001:db8::/32")
+        assert p.version == 6
+        assert p.network_address == "2001:db8::"
+
+    def test_parse_ipv6_full_form(self):
+        p = Prefix.parse("2001:0db8:0000:0000:0000:0000:0000:0000/32")
+        assert p == Prefix.parse("2001:db8::/32")
+
+    def test_parse_rejects_host_bits(self):
+        with pytest.raises(PrefixError):
+            Prefix(0x0A000001, 8, 4)
+
+    def test_from_host_masks_host_bits(self):
+        p = Prefix.from_host(0x0A0000FF, 8, 4)
+        assert p == Prefix.parse("10.0.0.0/8")
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "10.0.0.0/33",
+            "256.0.0.0/8",
+            "10.0.0/8",
+            "10.0.0.0/x",
+            "2001:db8::/129",
+            "1::2::3/64",
+            "::12345/128",
+            "",
+        ],
+    )
+    def test_parse_rejects_malformed(self, bad):
+        with pytest.raises(PrefixError):
+            Prefix.parse(bad)
+
+    def test_prefix_error_is_value_error(self):
+        with pytest.raises(ValueError):
+            Prefix.parse("not-a-prefix")
+
+
+class TestAlgebra:
+    def test_contains_more_specific(self):
+        assert Prefix.parse("10.0.0.0/8").contains(Prefix.parse("10.1.0.0/16"))
+
+    def test_contains_self(self):
+        p = Prefix.parse("10.0.0.0/8")
+        assert p.contains(p)
+
+    def test_does_not_contain_less_specific(self):
+        assert not Prefix.parse("10.1.0.0/16").contains(Prefix.parse("10.0.0.0/8"))
+
+    def test_does_not_contain_disjoint(self):
+        assert not Prefix.parse("10.0.0.0/8").contains(Prefix.parse("11.0.0.0/8"))
+
+    def test_never_contains_across_versions(self):
+        assert not Prefix.parse("0.0.0.0/0").contains(Prefix.parse("::/128"))
+
+    def test_overlaps_is_symmetric_for_nested(self):
+        outer, inner = Prefix.parse("10.0.0.0/8"), Prefix.parse("10.2.3.0/24")
+        assert outer.overlaps(inner) and inner.overlaps(outer)
+
+    def test_supernet_default_one_bit(self):
+        assert Prefix.parse("10.1.0.0/16").supernet() == Prefix.parse("10.0.0.0/15")
+
+    def test_supernet_to_specific_length(self):
+        assert Prefix.parse("10.1.2.0/24").supernet(8) == Prefix.parse("10.0.0.0/8")
+
+    def test_supernet_rejects_longer(self):
+        with pytest.raises(PrefixError):
+            Prefix.parse("10.0.0.0/8").supernet(16)
+
+    def test_subnets_split(self):
+        halves = list(Prefix.parse("10.0.0.0/8").subnets())
+        assert halves == [Prefix.parse("10.0.0.0/9"), Prefix.parse("10.128.0.0/9")]
+
+    def test_subnets_at_length(self):
+        quarters = list(Prefix.parse("10.0.0.0/8").subnets(10))
+        assert len(quarters) == 4
+        assert all(Prefix.parse("10.0.0.0/8").contains(q) for q in quarters)
+
+    def test_address_count(self):
+        assert Prefix.parse("10.0.0.0/8").address_count == 2**24
+        assert Prefix.parse("192.0.2.1/32").address_count == 1
+
+    def test_bit_at(self):
+        p = Prefix.parse("128.0.0.0/1")
+        assert p.bit_at(0) == 1
+        with pytest.raises(PrefixError):
+            p.bit_at(1)
+
+    def test_ordering_is_address_order(self):
+        prefixes = [
+            Prefix.parse("10.0.0.0/8"),
+            Prefix.parse("9.0.0.0/8"),
+            Prefix.parse("10.0.0.0/16"),
+        ]
+        ordered = sorted(prefixes)
+        assert [str(p) for p in ordered] == [
+            "9.0.0.0/8",
+            "10.0.0.0/8",
+            "10.0.0.0/16",
+        ]
+
+    def test_hashable_and_eq(self):
+        assert len({Prefix.parse("10.0.0.0/8"), Prefix.parse("10.0.0.0/8")}) == 1
+
+
+class TestAggregateCount:
+    def test_disjoint(self):
+        total = aggregate_address_count(
+            [Prefix.parse("10.0.0.0/24"), Prefix.parse("10.0.1.0/24")]
+        )
+        assert total == 512
+
+    def test_nested_counted_once(self):
+        total = aggregate_address_count(
+            [Prefix.parse("10.0.0.0/8"), Prefix.parse("10.1.0.0/16")]
+        )
+        assert total == 2**24
+
+    def test_partial_overlap_via_adjacent_supernet(self):
+        total = aggregate_address_count(
+            [Prefix.parse("10.0.0.0/9"), Prefix.parse("10.0.0.0/8")]
+        )
+        assert total == 2**24
+
+    def test_empty(self):
+        assert aggregate_address_count([]) == 0
+
+    def test_mixed_versions_sum(self):
+        total = aggregate_address_count(
+            [Prefix.parse("10.0.0.0/24"), Prefix.parse("2001:db8::/127")]
+        )
+        assert total == 256 + 2
+
+
+class TestCoalesce:
+    def test_merges_siblings(self):
+        merged = coalesce(
+            [Prefix.parse("10.0.0.0/9"), Prefix.parse("10.128.0.0/9")]
+        )
+        assert merged == [Prefix.parse("10.0.0.0/8")]
+
+    def test_drops_contained(self):
+        merged = coalesce(
+            [Prefix.parse("10.0.0.0/8"), Prefix.parse("10.1.0.0/16")]
+        )
+        assert merged == [Prefix.parse("10.0.0.0/8")]
+
+    def test_keeps_disjoint(self):
+        prefixes = [Prefix.parse("10.0.0.0/8"), Prefix.parse("12.0.0.0/8")]
+        assert coalesce(prefixes) == sorted(prefixes)
+
+
+# -- property-based tests ---------------------------------------------------
+
+v4_prefixes = st.builds(
+    lambda value, length: Prefix.from_host(value, length, 4),
+    st.integers(min_value=0, max_value=2**32 - 1),
+    st.integers(min_value=0, max_value=32),
+)
+
+
+@given(v4_prefixes)
+def test_parse_roundtrip(prefix):
+    assert Prefix.parse(str(prefix)) == prefix
+
+
+@given(v4_prefixes)
+def test_supernet_contains(prefix):
+    if prefix.length > 0:
+        assert prefix.supernet().contains(prefix)
+
+
+@given(v4_prefixes)
+def test_subnets_partition_address_count(prefix):
+    if prefix.length < 32:
+        subnets = list(prefix.subnets())
+        assert sum(s.address_count for s in subnets) == prefix.address_count
+
+
+@given(v4_prefixes, v4_prefixes)
+def test_containment_matches_interval_logic(a, b):
+    interval_contains = a.first <= b.first and b.last <= a.last
+    assert a.contains(b) == interval_contains
+
+
+@given(st.lists(v4_prefixes, max_size=30))
+def test_coalesce_preserves_address_count(prefixes):
+    merged = coalesce(prefixes)
+    assert aggregate_address_count(merged) == aggregate_address_count(prefixes)
+    # coalesced sets are non-overlapping
+    for i, p in enumerate(merged):
+        for q in merged[i + 1:]:
+            assert not p.overlaps(q)
+
+
+v6_prefixes = st.builds(
+    lambda value, length: Prefix.from_host(value, length, 6),
+    st.integers(min_value=0, max_value=2**128 - 1),
+    st.integers(min_value=0, max_value=128),
+)
+
+
+@given(v6_prefixes)
+def test_v6_parse_roundtrip(prefix):
+    assert Prefix.parse(str(prefix)) == prefix

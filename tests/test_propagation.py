@@ -1,0 +1,263 @@
+"""Unit tests for the valley-free propagation engine.
+
+These tests pin the Gao–Rexford semantics on hand-built topologies where
+every selected route is known: export rules, selection preference
+(customer > peer > provider, then path length, then lowest neighbour),
+and the ROV / Action 1 import filters.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bgp.policy import ASPolicy, NeighborKind, RouteClass, covers_session
+from repro.bgp.propagation import PropagationEngine, Route, RouteKind
+from repro.errors import TopologyError
+from repro.registry.rir import RIR
+from repro.topology.model import (
+    ASCategory,
+    ASTopology,
+    AutonomousSystem,
+    Organization,
+    Relationship,
+)
+
+
+def make_topology(
+    links: list[tuple[int, int, Relationship]],
+) -> ASTopology:
+    topo = ASTopology()
+    topo.add_org(Organization("O", "Org", "US"))
+    asns = sorted({a for link in links for a in link[:2]})
+    for asn in asns:
+        topo.add_as(
+            AutonomousSystem(asn, "O", "US", RIR.ARIN, ASCategory.STUB)
+        )
+    for a, b, rel in links:
+        topo.add_link(a, b, rel)
+    return topo
+
+
+P2C = Relationship.PROVIDER_CUSTOMER
+PEER = Relationship.PEER
+
+
+class TestBasicPropagation:
+    def test_origin_route(self):
+        topo = make_topology([(1, 2, P2C)])
+        engine = PropagationEngine(topo)
+        routes = engine.propagate(2)
+        assert routes[2] == Route(RouteKind.ORIGIN, (2,))
+
+    def test_customer_route_up(self):
+        topo = make_topology([(1, 2, P2C)])
+        routes = PropagationEngine(topo).propagate(2)
+        assert routes[1] == Route(RouteKind.CUSTOMER, (1, 2))
+
+    def test_provider_route_down(self):
+        topo = make_topology([(1, 2, P2C), (1, 3, P2C)])
+        routes = PropagationEngine(topo).propagate(2)
+        assert routes[3] == Route(RouteKind.PROVIDER, (3, 1, 2))
+
+    def test_peer_route(self):
+        topo = make_topology([(1, 2, PEER)])
+        routes = PropagationEngine(topo).propagate(2)
+        assert routes[1] == Route(RouteKind.PEER, (1, 2))
+
+    def test_unknown_origin_raises(self):
+        topo = make_topology([(1, 2, P2C)])
+        with pytest.raises(TopologyError):
+            PropagationEngine(topo).propagate(99)
+
+    def test_unknown_target_raises(self):
+        topo = make_topology([(1, 2, P2C)])
+        with pytest.raises(TopologyError):
+            PropagationEngine(topo).propagate(2, targets=[99])
+
+
+class TestValleyFree:
+    def test_no_peer_to_peer_transit(self):
+        # 1--2 peers, 2--3 peers: 3 must not reach 1 through 2.
+        topo = make_topology([(1, 2, PEER), (2, 3, PEER)])
+        routes = PropagationEngine(topo).propagate(1)
+        assert 3 not in routes
+
+    def test_no_provider_route_re_export_to_peer(self):
+        # 2 learns 1's route from its provider 3; peer 4 of 2 must not
+        # hear it.  Topology: 3 is provider of both 1 and 2; 2--4 peer.
+        topo = make_topology([(3, 1, P2C), (3, 2, P2C), (2, 4, PEER)])
+        routes = PropagationEngine(topo).propagate(1)
+        assert routes[2].kind is RouteKind.PROVIDER
+        assert 4 not in routes
+
+    def test_peer_route_exported_to_customers(self):
+        # 1 origin; 2 peers with 1; 3 is 2's customer: 3 hears via 2.
+        topo = make_topology([(1, 2, PEER), (2, 3, P2C)])
+        routes = PropagationEngine(topo).propagate(1)
+        assert routes[3] == Route(RouteKind.PROVIDER, (3, 2, 1))
+
+    def test_customer_routes_exported_to_peers(self):
+        # origin 3 is customer of 2; 2 peers with 1: 1 hears it.
+        topo = make_topology([(2, 3, P2C), (1, 2, PEER)])
+        routes = PropagationEngine(topo).propagate(3)
+        assert routes[1] == Route(RouteKind.PEER, (1, 2, 3))
+
+
+class TestSelectionPreference:
+    def test_customer_beats_peer_even_if_longer(self):
+        # 5 can reach 1 via customer chain 5->4->...1 (long) or via peer
+        # (short); customer must win.
+        topo = make_topology(
+            [
+                (4, 1, P2C),   # 4 provider of 1
+                (5, 4, P2C),   # 5 provider of 4 (so 1 in 5's cone)
+                (5, 6, PEER),
+                (6, 1, P2C),
+            ]
+        )
+        routes = PropagationEngine(topo).propagate(1)
+        assert routes[5].kind is RouteKind.CUSTOMER
+        assert routes[5].path == (5, 4, 1)
+
+    def test_shorter_path_wins_within_class(self):
+        # two customer chains to 1: via 2 (len 2) or via 3->4 (len 3).
+        topo = make_topology(
+            [(2, 1, P2C), (5, 2, P2C), (4, 1, P2C), (3, 4, P2C), (5, 3, P2C)]
+        )
+        routes = PropagationEngine(topo).propagate(1)
+        assert routes[5].path == (5, 2, 1)
+
+    def test_lowest_neighbor_breaks_ties(self):
+        # 5 hears equal-length customer routes via 2 and 3: picks 2.
+        topo = make_topology(
+            [(2, 1, P2C), (3, 1, P2C), (5, 2, P2C), (5, 3, P2C)]
+        )
+        routes = PropagationEngine(topo).propagate(1)
+        assert routes[5].path == (5, 2, 1)
+
+    def test_provider_tiebreak_lowest_asn(self):
+        # 4 has two providers (2, 3) both one hop from origin 1.
+        topo = make_topology(
+            [(2, 1, P2C), (3, 1, P2C), (2, 4, P2C), (3, 4, P2C)]
+        )
+        routes = PropagationEngine(topo).propagate(1)
+        assert routes[4].path == (4, 2, 1)
+
+
+class TestFiltering:
+    def test_rov_blocks_invalid_everywhere(self):
+        topo = make_topology([(1, 2, P2C), (1, 3, P2C)])
+        policies = {1: ASPolicy(rov=True)}
+        engine = PropagationEngine(topo, policies)
+        invalid = RouteClass(rpki_invalid=True)
+        routes = engine.propagate(2, invalid)
+        assert 1 not in routes and 3 not in routes
+        # conformant routes still flow
+        assert 3 in engine.propagate(2)
+
+    def test_customer_filter_blocks_customer_routes_only(self):
+        # 1 filters customers; 2 (customer) announces invalid: blocked.
+        # But when 1 peers with 4 announcing the same class: accepted.
+        topo = make_topology([(1, 2, P2C), (1, 4, PEER)])
+        policies = {1: ASPolicy(filter_customers_irr=True)}
+        engine = PropagationEngine(topo, policies)
+        irr_invalid = RouteClass(irr_invalid=True)
+        assert 1 not in engine.propagate(2, irr_invalid)
+        assert 1 in engine.propagate(4, irr_invalid)
+
+    def test_partial_coverage_filters_some_sessions(self):
+        # provider 1 with many customers at 50% coverage: some blocked.
+        links = [(1, customer, P2C) for customer in range(2, 42)]
+        topo = make_topology(links)
+        policies = {
+            1: ASPolicy(filter_customers_irr=True, customer_filter_coverage=0.5)
+        }
+        engine = PropagationEngine(topo, policies)
+        irr_invalid = RouteClass(irr_invalid=True)
+        blocked = sum(
+            1 not in engine.propagate(customer, irr_invalid)
+            for customer in range(2, 42)
+        )
+        assert 5 < blocked < 35  # ~50%, deterministic per pair
+
+    def test_route_detours_around_filter(self):
+        # 2 filters its customer 4's invalids, 3 does not; observer 5
+        # (customer of both 2 and 3) still hears the route via 3.
+        topo = make_topology(
+            [(2, 4, P2C), (3, 4, P2C), (2, 5, P2C), (3, 5, P2C)]
+        )
+        policies = {2: ASPolicy(rov=True)}
+        engine = PropagationEngine(topo, policies)
+        invalid = RouteClass(rpki_invalid=True)
+        routes = engine.propagate(4, invalid)
+        assert routes[5].path == (5, 3, 4)
+
+    def test_filtered_provider_not_transited(self):
+        # chain 4 -> 3 -> 2(filter) -> 1: top AS 1 unreachable.
+        topo = make_topology([(1, 2, P2C), (2, 3, P2C), (3, 4, P2C)])
+        policies = {2: ASPolicy(rov=True)}
+        engine = PropagationEngine(topo, policies)
+        routes = engine.propagate(4, RouteClass(rpki_invalid=True))
+        assert routes[3].kind is RouteKind.CUSTOMER
+        assert 2 not in routes and 1 not in routes
+
+
+class TestPathsTo:
+    def test_paths_only_for_reachable_targets(self):
+        topo = make_topology([(1, 2, P2C), (3, 4, P2C)])
+        engine = PropagationEngine(topo)
+        paths = engine.paths_to(2, [1, 3, 4])
+        assert set(paths) == {1}
+
+    def test_paths_start_at_vp_end_at_origin(self, small_world):
+        engine = small_world.engine
+        origin = small_world.topology.asns[0]
+        paths = engine.paths_to(origin, small_world.vantage_points)
+        for vp, path in paths.items():
+            assert path[0] == vp
+            assert path[-1] == origin
+
+
+class TestCoversSession:
+    def test_extremes(self):
+        assert covers_session(1, 2, 1.0)
+        assert not covers_session(1, 2, 0.0)
+
+    def test_deterministic(self):
+        assert covers_session(7, 9, 0.5) == covers_session(7, 9, 0.5)
+
+    def test_monotone_in_coverage(self):
+        # A session covered at low coverage stays covered at higher.
+        for provider in range(1, 30):
+            for customer in range(30, 40):
+                if covers_session(provider, customer, 0.3):
+                    assert covers_session(provider, customer, 0.8)
+
+    def test_roughly_proportional(self):
+        pairs = [(p, c) for p in range(1, 60) for c in range(100, 140)]
+        covered = sum(covers_session(p, c, 0.3) for p, c in pairs)
+        assert 0.2 < covered / len(pairs) < 0.4
+
+
+class TestPolicyAccepts:
+    def test_default_accepts_everything(self):
+        policy = ASPolicy()
+        for kind in NeighborKind:
+            assert policy.accepts(RouteClass(True, True), kind)
+
+    def test_rov_rejects_invalid_from_all(self):
+        policy = ASPolicy(rov=True)
+        for kind in NeighborKind:
+            assert not policy.accepts(RouteClass(rpki_invalid=True), kind)
+            assert policy.accepts(RouteClass(), kind)
+
+    def test_peer_filter(self):
+        policy = ASPolicy(filter_peers_irr=True)
+        assert not policy.accepts(RouteClass(irr_invalid=True), NeighborKind.PEER)
+        assert policy.accepts(RouteClass(irr_invalid=True), NeighborKind.CUSTOMER)
+
+    def test_customer_filter_without_session_info_is_strict(self):
+        policy = ASPolicy(filter_customers_rpki=True, customer_filter_coverage=0.5)
+        assert not policy.accepts(
+            RouteClass(rpki_invalid=True), NeighborKind.CUSTOMER
+        )

@@ -1,0 +1,116 @@
+"""Tests for the MANRS readiness check and prefix churn."""
+
+from __future__ import annotations
+
+from datetime import timedelta
+
+from repro.core.conformance import is_action4_conformant, origination_stats
+from repro.core.readiness import check_readiness, render_readiness
+from repro.manrs.actions import Program
+from repro.manrs.contacts import ContactRecord, PeeringDBLike
+from repro.scenario.timeline import flagship_prefix_churn
+
+
+class TestReadiness:
+    def _fresh_contacts(self, world, asns) -> PeeringDBLike:
+        registry = PeeringDBLike()
+        for asn in asns:
+            registry.upsert(
+                ContactRecord(
+                    asn,
+                    f"noc@as{asn}.example",
+                    world.snapshot_date - timedelta(days=1),
+                )
+            )
+        return registry
+
+    def test_clean_as_is_ready(self, small_world):
+        stats = origination_stats(small_world.ihr)
+        clean = next(
+            asn
+            for asn, as_stats in stats.items()
+            if as_stats.og_conformant == 100.0
+            and asn in small_world.topology
+        )
+        report = check_readiness(
+            small_world,
+            clean,
+            peeringdb=self._fresh_contacts(small_world, [clean]),
+        )
+        assert report.action4_ok
+        assert report.unregistered_prefixes == ()
+        if report.action1_ok:
+            assert report.ready
+            assert "READY" in render_readiness(report)
+
+    def test_unregistered_as_is_blocked(self, small_world):
+        stats = origination_stats(small_world.ihr)
+        dirty = next(
+            asn
+            for asn, as_stats in stats.items()
+            if asn in small_world.topology
+            and not is_action4_conformant(as_stats, Program.ISP)
+        )
+        report = check_readiness(
+            small_world,
+            dirty,
+            peeringdb=self._fresh_contacts(small_world, [dirty]),
+        )
+        assert not report.action4_ok
+        assert not report.ready
+        assert report.unregistered_prefixes
+        assert any("Action 4" in blocker for blocker in report.blockers)
+        assert "FAIL" in render_readiness(report)
+
+    def test_missing_contacts_block(self, small_world):
+        stats = origination_stats(small_world.ihr)
+        clean = next(
+            asn
+            for asn, as_stats in stats.items()
+            if as_stats.og_conformant == 100.0 and asn in small_world.topology
+        )
+        report = check_readiness(small_world, clean, peeringdb=PeeringDBLike())
+        if not report.action3_ok:
+            assert not report.ready
+            assert any("Action 3" in blocker for blocker in report.blockers)
+
+    def test_member_flagged(self, small_world):
+        member = next(iter(small_world.members()))
+        report = check_readiness(small_world, member)
+        assert report.already_member
+        assert "member" in render_readiness(report)
+
+    def test_quiescent_as_trivially_passes_1_and_4(self, small_world):
+        quiescent = next(iter(small_world.quiescent))
+        report = check_readiness(
+            small_world,
+            quiescent,
+            peeringdb=self._fresh_contacts(small_world, [quiescent]),
+        )
+        assert report.action4_ok and report.action1_ok
+        assert report.origination_pct == 100.0
+
+
+class TestPrefixChurn:
+    def test_counts_are_consistent(self, small_world):
+        churn = flagship_prefix_churn(small_world, seed=4)
+        assert churn, "CDN members with prefixes should exist"
+        for asn, record in churn.items():
+            total = len(small_world.originations[asn])
+            assert record.stable + record.withdrawn == total
+            assert record.status_changes <= record.stable
+            assert record.added >= 0
+
+    def test_deterministic(self, small_world):
+        a = flagship_prefix_churn(small_world, seed=4)
+        b = flagship_prefix_churn(small_world, seed=4)
+        assert a == b
+
+    def test_targets_biggest_cdn_originators(self, small_world):
+        from repro.manrs.actions import Program
+
+        churn = flagship_prefix_churn(small_world, seed=4)
+        cdn_members = small_world.manrs.member_asns(
+            as_of=small_world.snapshot_date, program=Program.CDN
+        )
+        assert set(churn) <= set(cdn_members)

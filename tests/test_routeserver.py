@@ -1,0 +1,113 @@
+"""Tests for the IXP route server (MANRS IXP program extension)."""
+
+from __future__ import annotations
+
+from repro.bgp.announcement import Announcement
+from repro.bgp.routeserver import RouteServer
+from repro.irr.database import IRRDatabase
+from repro.irr.objects import AsSetObject, RouteObject
+from repro.net.prefix import Prefix
+
+
+def _p(text: str) -> Prefix:
+    return Prefix.parse(text)
+
+
+def make_registry() -> IRRDatabase:
+    db = IRRDatabase("RADB")
+    # member 10 with customer 20 via as-set
+    db.add_as_set(AsSetObject("AS-10-CUSTOMERS", ("AS20",), "RADB"))
+    db.add_route(RouteObject(_p("12.0.0.0/16"), 10, "RADB"))
+    db.add_route(RouteObject(_p("31.5.0.0/18"), 20, "RADB"))
+    # unrelated network 99
+    db.add_route(RouteObject(_p("99.0.0.0/8"), 99, "RADB"))
+    return db
+
+
+class TestRouteServer:
+    def setup_method(self):
+        self.server = RouteServer(make_registry(), members=(10, 30))
+
+    def test_member_own_route_accepted(self):
+        verdict = self.server.evaluate(10, Announcement(_p("12.0.0.0/16"), 10))
+        assert verdict.accepted
+
+    def test_customer_route_via_as_set_accepted(self):
+        verdict = self.server.evaluate(10, Announcement(_p("31.5.0.0/18"), 20))
+        assert verdict.accepted
+
+    def test_deaggregation_within_upto_accepted(self):
+        verdict = self.server.evaluate(10, Announcement(_p("12.0.5.0/24"), 10))
+        assert verdict.accepted
+
+    def test_too_specific_rejected(self):
+        verdict = self.server.evaluate(10, Announcement(_p("12.0.5.0/25"), 10))
+        assert not verdict.accepted
+        assert "not registered" in verdict.reason
+
+    def test_foreign_origin_rejected(self):
+        verdict = self.server.evaluate(10, Announcement(_p("99.0.0.0/8"), 99))
+        assert not verdict.accepted
+        assert "not in AS-10-CUSTOMERS" in verdict.reason
+
+    def test_unregistered_prefix_rejected(self):
+        verdict = self.server.evaluate(10, Announcement(_p("13.0.0.0/16"), 10))
+        assert not verdict.accepted
+
+    def test_non_member_rejected(self):
+        verdict = self.server.evaluate(77, Announcement(_p("12.0.0.0/16"), 10))
+        assert not verdict.accepted
+        assert verdict.reason == "not a member"
+
+    def test_member_without_as_set_uses_own_routes(self):
+        # member 30 has no as-set and no routes: everything rejected
+        verdict = self.server.evaluate(30, Announcement(_p("12.0.0.0/16"), 30))
+        assert not verdict.accepted
+
+    def test_batch_report(self):
+        report = self.server.evaluate_batch(
+            [
+                (10, Announcement(_p("12.0.0.0/16"), 10)),
+                (10, Announcement(_p("99.0.0.0/8"), 99)),
+            ]
+        )
+        assert report.accepted == 1
+        assert report.rejected == 1
+        assert report.acceptance_rate == 0.5
+
+    def test_empty_batch_rate(self):
+        assert self.server.evaluate_batch([]).acceptance_rate == 1.0
+
+    def test_filter_cached(self):
+        first = self.server.filter_for(10)
+        second = self.server.filter_for(10)
+        assert first is second
+
+
+class TestRouteServerOnWorld:
+    def test_world_members_mostly_accepted(self, small_world):
+        """Members' real announcements pass the route-server filters at a
+        high rate — the leaks are exactly the unregistered prefixes the
+        Action 4 analysis flags."""
+        radb = small_world.irr.database("RADB")
+        members = tuple(
+            asn
+            for asn in small_world.topology.asns
+            if radb.as_set(f"AS-{asn}-CUSTOMERS") is not None
+        )[:10]
+        server = RouteServer(small_world.irr, members=members)
+        batch = [
+            (member, Announcement(origination.prefix, member))
+            for member in members
+            for origination in small_world.originations.get(member, ())
+        ]
+        assert batch
+        report = server.evaluate_batch(batch)
+        assert report.acceptance_rate > 0.5
+        # rejected ones are genuinely unregistered or deaggregated beyond
+        # the allowance
+        for verdict in report.verdicts:
+            if not verdict.accepted:
+                assert "not registered" in verdict.reason or (
+                    "not in" in verdict.reason
+                )
