@@ -1,0 +1,37 @@
+# Developer entry points.  All targets assume the repo root as CWD and
+# need no installation: PYTHONPATH=src is injected here.
+
+PYTHON ?= python
+PYTHONPATH := src
+export PYTHONPATH
+
+JOBS ?=
+SCALE ?= 1.0
+LABEL ?= local
+SMOKE_BUDGET ?= 120
+
+.PHONY: test bench bench-pytest profile smoke-profile
+
+## Tier-1 test suite (unit + integration + equivalence).
+test:
+	$(PYTHON) -m pytest -x -q
+
+## Substrate benchmarks: end-to-end build + timeline, written to
+## BENCH_$(LABEL).json.  Override JOBS=4 to exercise parallel collection.
+bench:
+	$(PYTHON) benchmarks/run.py --label $(LABEL) --scale $(SCALE) \
+		$(if $(JOBS),--jobs $(JOBS))
+
+## Paper-analysis benchmarks (pytest-benchmark; one per table/figure).
+bench-pytest:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+## Stage-level wall-clock breakdown of one full-scale build.
+profile:
+	REPRO_PERF=1 $(PYTHON) benchmarks/run.py --label profile --rounds 1 \
+		--scale $(SCALE) --output-dir /tmp $(if $(JOBS),--jobs $(JOBS))
+
+## CI tripwire: scale-0.3 end-to-end build must fit a generous budget.
+smoke-profile:
+	$(PYTHON) benchmarks/run.py --smoke --budget $(SMOKE_BUDGET) \
+		--label smoke --output-dir /tmp

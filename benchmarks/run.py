@@ -1,0 +1,160 @@
+"""Substrate benchmark runner: end-to-end build timings as a JSON trajectory.
+
+Times the two substrate workloads every paper artefact sits on —
+``build_world`` (topology → RPKI/IRR → propagation → RIB → IHR) and the
+annual ``Timeline`` sweep — and writes a ``BENCH_<label>.json`` file with
+mean/stddev per benchmark plus the run's provenance (scale, seed, jobs,
+git revision, python).  Committing one file per PR gives a perf
+trajectory future changes can be compared against.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run.py --label pr1            # full scale
+    PYTHONPATH=src python benchmarks/run.py --label pr1 --jobs 4
+    PYTHONPATH=src python benchmarks/run.py --smoke --budget 60    # CI gate
+
+``--smoke`` runs one round at ``--scale 0.3`` (unless overridden) and
+exits 1 if the end-to-end mean exceeds ``--budget`` seconds — a cheap
+regression tripwire for CI.
+
+The paper-analysis benchmarks live in the pytest-benchmark suite
+(``pytest benchmarks/ --benchmark-only``); this script covers the
+substrate underneath them.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import statistics
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.scenario.build import build_world  # noqa: E402
+from repro.scenario.timeline import Timeline  # noqa: E402
+
+
+def git_rev() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+        return out.stdout.strip() or "unknown"
+    except OSError:
+        return "unknown"
+
+
+def summarize(samples: list[float]) -> dict:
+    return {
+        "mean": statistics.fmean(samples),
+        "stddev": statistics.stdev(samples) if len(samples) > 1 else 0.0,
+        "min": min(samples),
+        "max": max(samples),
+        "rounds": samples,
+    }
+
+
+def run_rounds(
+    scale: float, seed: int, jobs: int | None, rounds: int
+) -> dict[str, dict]:
+    build_samples: list[float] = []
+    timeline_samples: list[float] = []
+    total_samples: list[float] = []
+    for i in range(rounds):
+        start = time.perf_counter()
+        world = build_world(scale=scale, seed=seed, jobs=jobs)
+        build_elapsed = time.perf_counter() - start
+
+        start = time.perf_counter()
+        timeline = Timeline(world)
+        timeline.saturation_series()
+        timeline.growth()
+        timeline_elapsed = time.perf_counter() - start
+
+        build_samples.append(build_elapsed)
+        timeline_samples.append(timeline_elapsed)
+        total_samples.append(build_elapsed + timeline_elapsed)
+        print(
+            f"round {i + 1}/{rounds}: build={build_elapsed:.3f}s "
+            f"timeline={timeline_elapsed:.3f}s",
+            file=sys.stderr,
+        )
+        del world, timeline
+    return {
+        "build_world_to_ihr": summarize(build_samples),
+        "timeline_annual_series": summarize(timeline_samples),
+        "end_to_end": summarize(total_samples),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--label", default="local", help="BENCH_<label>.json")
+    parser.add_argument("--scale", type=float, default=None)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--rounds", type=int, default=3)
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for collect_rib (default: REPRO_JOBS env)",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="one round at scale 0.3; exit 1 if end-to-end exceeds --budget",
+    )
+    parser.add_argument(
+        "--budget",
+        type=float,
+        default=120.0,
+        help="smoke-mode time budget in seconds (generous by design)",
+    )
+    parser.add_argument(
+        "--output-dir", type=Path, default=REPO_ROOT, help="where to write JSON"
+    )
+    args = parser.parse_args(argv)
+
+    rounds = 1 if args.smoke else args.rounds
+    scale = args.scale if args.scale is not None else (0.3 if args.smoke else 1.0)
+
+    benchmarks = run_rounds(scale, args.seed, args.jobs, rounds)
+
+    payload = {
+        "label": args.label,
+        "scale": scale,
+        "seed": args.seed,
+        "jobs": args.jobs,
+        "rounds": rounds,
+        "git_rev": git_rev(),
+        "python": platform.python_version(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "benchmarks": benchmarks,
+    }
+    out_path = args.output_dir / f"BENCH_{args.label}.json"
+    out_path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {out_path}", file=sys.stderr)
+
+    mean = benchmarks["end_to_end"]["mean"]
+    print(f"end-to-end mean: {mean:.3f}s over {rounds} round(s)")
+    if args.smoke and mean > args.budget:
+        print(
+            f"SMOKE FAIL: {mean:.3f}s exceeds the {args.budget:.0f}s budget",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -15,15 +15,23 @@ Real collectors see the Internet through a limited, biased set of vantage
 points (mostly large transit networks); §11 of the paper calls this out as
 the main limitation.  :func:`select_vantage_points` reproduces that bias:
 all large transits, a sample of mediums, and a few edge networks.
+
+Collection parallelises across (origin, filter-class) groups: with
+``REPRO_JOBS=N`` (or an explicit ``jobs=`` argument) the per-origin
+propagation fans out over a process pool.  Workers receive a pickled
+engine once, results are reassembled in the same deterministic order the
+serial path uses, so parallel and serial snapshots are identical.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 
+from repro import perf
 from repro.bgp.announcement import Announcement, RibEntry
 from repro.bgp.policy import RouteClass
 from repro.bgp.propagation import PropagationEngine
@@ -32,6 +40,10 @@ from repro.topology.classify import SizeClass, classify_all
 from repro.topology.model import ASTopology
 
 __all__ = ["RouteGroup", "RibSnapshot", "collect_rib", "select_vantage_points"]
+
+#: Below this many (origin, class) groups the pool overhead cannot pay
+#: for itself; collection stays serial regardless of ``jobs``.
+MIN_PARALLEL_GROUPS = 256
 
 
 @dataclass(frozen=True)
@@ -52,10 +64,26 @@ class RouteGroup:
 
 @dataclass
 class RibSnapshot:
-    """All routes observed by the collector's vantage points."""
+    """All routes observed by the collector's vantage points.
+
+    Lookup helpers are backed by lazily built caches (an ``(origin,
+    prefix) → groups`` index for :meth:`paths_for` and a materialised
+    visible-announcement set).  The caches key off ``len(groups)``:
+    appending groups invalidates them, which covers every mutation the
+    pipeline performs (``RouteGroup`` itself is frozen).
+    """
 
     vantage_points: tuple[int, ...]
     groups: list[RouteGroup]
+    _group_index: dict[tuple[int, Prefix], list[RouteGroup]] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _visible: frozenset[Announcement] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _cached_group_count: int = field(
+        default=-1, init=False, repr=False, compare=False
+    )
 
     def iter_entries(self) -> Iterator[RibEntry]:
         """Expand groups into per-(vantage point, prefix) RIB entries."""
@@ -69,26 +97,36 @@ class RibSnapshot:
                         path=path,
                     )
 
+    def _refresh_caches(self) -> None:
+        if self._cached_group_count == len(self.groups):
+            return
+        index: dict[tuple[int, Prefix], list[RouteGroup]] = {}
+        visible: set[Announcement] = set()
+        for group in self.groups:
+            for prefix in group.prefixes:
+                index.setdefault((group.origin, prefix), []).append(group)
+                if group.paths:
+                    visible.add(Announcement(prefix, group.origin))
+        self._group_index = index
+        self._visible = frozenset(visible)
+        self._cached_group_count = len(self.groups)
+
     @property
     def visible_announcements(self) -> set[Announcement]:
         """Announcements seen by at least one vantage point."""
-        visible: set[Announcement] = set()
-        for group in self.groups:
-            if group.paths:
-                visible.update(
-                    Announcement(prefix, group.origin)
-                    for prefix in group.prefixes
-                )
-        return visible
+        self._refresh_caches()
+        return set(self._visible or ())
 
     def paths_for(self, announcement: Announcement) -> list[tuple[int, ...]]:
         """Every vantage-point path recorded for one announcement."""
+        self._refresh_caches()
+        assert self._group_index is not None
+        groups = self._group_index.get(
+            (announcement.origin, announcement.prefix), ()
+        )
         paths: list[tuple[int, ...]] = []
-        for group in self.groups:
-            if group.origin == announcement.origin and (
-                announcement.prefix in group.prefixes
-            ):
-                paths.extend(group.paths.values())
+        for group in groups:
+            paths.extend(group.paths.values())
         return paths
 
 
@@ -105,9 +143,12 @@ def select_vantage_points(
     """
     rng = np.random.default_rng(seed)
     sizes = classify_all(topology)
-    larges = [asn for asn, size in sizes.items() if size is SizeClass.LARGE]
-    mediums = [asn for asn, size in sizes.items() if size is SizeClass.MEDIUM]
-    smalls = [asn for asn, size in sizes.items() if size is SizeClass.SMALL]
+    # Sorted explicitly: inheriting dict-iteration order from classify_all
+    # would tie the rng.choice draw to topology insertion order, making
+    # vantage-point selection fragile across refactors and numpy versions.
+    larges = sorted(asn for asn, size in sizes.items() if size is SizeClass.LARGE)
+    mediums = sorted(asn for asn, size in sizes.items() if size is SizeClass.MEDIUM)
+    smalls = sorted(asn for asn, size in sizes.items() if size is SizeClass.SMALL)
     chosen = list(larges)
     if mediums:
         count = min(n_medium, len(mediums))
@@ -122,25 +163,98 @@ def collect_rib(
     engine: PropagationEngine,
     announcements: Iterable[tuple[Announcement, RouteClass]],
     vantage_points: Sequence[int],
+    jobs: int | None = None,
 ) -> RibSnapshot:
-    """Propagate every announcement and record vantage-point routes."""
+    """Propagate every announcement and record vantage-point routes.
+
+    ``jobs`` (default: the ``REPRO_JOBS`` environment variable, else
+    serial) fans the per-group propagation across worker processes.  The
+    output is identical either way: groups are keyed and emitted in one
+    deterministic order, and each group's paths depend only on (origin,
+    route class, vantage points).
+    """
     grouped: dict[tuple[int, RouteClass], list[Prefix]] = {}
     for announcement, route_class in announcements:
         grouped.setdefault((announcement.origin, route_class), []).append(
             announcement.prefix
         )
-    groups: list[RouteGroup] = []
-    for (origin, route_class), prefixes in sorted(
-        grouped.items(),
-        key=lambda item: (item[0][0], item[0][1].rpki_invalid, item[0][1].irr_invalid),
-    ):
-        paths = engine.paths_to(origin, vantage_points, route_class)
-        groups.append(
-            RouteGroup(
-                origin=origin,
-                route_class=route_class,
-                prefixes=tuple(sorted(set(prefixes))),
-                paths=paths,
-            )
+    keys = sorted(
+        grouped,
+        key=lambda key: (key[0], key[1].rpki_invalid, key[1].irr_invalid),
+    )
+    vantage_points = tuple(vantage_points)
+    jobs = perf.resolve_jobs(jobs)
+    paths_by_key = None
+    if jobs > 1 and len(keys) >= MIN_PARALLEL_GROUPS:
+        paths_by_key = _parallel_paths(engine, keys, vantage_points, jobs)
+    if paths_by_key is None:
+        paths_by_key = [
+            engine.paths_to(origin, vantage_points, route_class)
+            for origin, route_class in keys
+        ]
+    groups = [
+        RouteGroup(
+            origin=origin,
+            route_class=route_class,
+            prefixes=tuple(sorted(set(grouped[(origin, route_class)]))),
+            paths=paths,
         )
-    return RibSnapshot(vantage_points=tuple(vantage_points), groups=groups)
+        for (origin, route_class), paths in zip(keys, paths_by_key)
+    ]
+    return RibSnapshot(vantage_points=vantage_points, groups=groups)
+
+
+# Worker-process state, installed once per worker by the pool initializer
+# (cheaper than pickling the engine into every task).
+_worker_engine: PropagationEngine | None = None
+_worker_vantage_points: tuple[int, ...] = ()
+
+
+def _init_worker(
+    engine: PropagationEngine, vantage_points: tuple[int, ...]
+) -> None:
+    global _worker_engine, _worker_vantage_points
+    _worker_engine = engine
+    _worker_vantage_points = vantage_points
+
+
+def _propagate_chunk(
+    keys: list[tuple[int, RouteClass]],
+) -> list[dict[int, tuple[int, ...]]]:
+    assert _worker_engine is not None
+    return [
+        _worker_engine.paths_to(origin, _worker_vantage_points, route_class)
+        for origin, route_class in keys
+    ]
+
+
+def _parallel_paths(
+    engine: PropagationEngine,
+    keys: list[tuple[int, RouteClass]],
+    vantage_points: tuple[int, ...],
+    jobs: int,
+) -> list[dict[int, tuple[int, ...]]] | None:
+    """Fan ``paths_to`` across a process pool; None on pool failure.
+
+    Chunks are mapped in order, so the flattened result lines up with
+    ``keys`` and collection stays bit-identical to the serial path.
+    """
+    chunk_size = max(1, len(keys) // (jobs * 4))
+    chunks = [
+        keys[start : start + chunk_size]
+        for start in range(0, len(keys), chunk_size)
+    ]
+    try:
+        with ProcessPoolExecutor(
+            max_workers=jobs,
+            initializer=_init_worker,
+            initargs=(engine, vantage_points),
+        ) as pool:
+            results: list[dict[int, tuple[int, ...]]] = []
+            for chunk_paths in pool.map(_propagate_chunk, chunks):
+                results.extend(chunk_paths)
+        return results
+    except OSError:
+        # No usable process pool (e.g. sandboxed /dev/shm): fall back to
+        # serial rather than failing collection.
+        return None

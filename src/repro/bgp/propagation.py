@@ -22,21 +22,74 @@ That policy structure admits the classic three-phase computation:
 
 Import filtering (ROV, MANRS Action 1) is applied at each acceptance step
 using the per-AS :class:`~repro.bgp.policy.ASPolicy`.
+
+Two fast paths keep full-table collection affordable:
+
+* **Effective-filter signatures.**  Before propagating a
+  :class:`~repro.bgp.policy.RouteClass`, the engine resolves the class
+  against every policy into three small tables (ASes dropping the class
+  everywhere, at peer sessions, or on some customer sessions).  Route
+  classes that resolve to *identical* tables provably propagate
+  identically — see DESIGN.md §"Memoisation soundness" — so they share
+  one signature id, and the hot loops test set membership instead of
+  calling :meth:`~repro.bgp.policy.ASPolicy.accepts` per neighbour.
+* **Result memoisation.**  ``paths_to`` results are cached in a bounded
+  LRU keyed by ``(origin, signature id, vantage points)``; repeated
+  snapshots (timelines, counterfactual reruns, benchmarks) hit the cache
+  instead of re-propagating.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict, defaultdict
 from dataclasses import dataclass
 from enum import IntEnum
 from typing import Iterable, Mapping
 
-from repro.bgp.policy import ASPolicy, NeighborKind, RouteClass
+from repro.bgp.policy import ASPolicy, RouteClass, covers_session
 from repro.errors import TopologyError
 from repro.topology.model import ASTopology
 
 __all__ = ["RouteKind", "Route", "PropagationEngine"]
 
 _DEFAULT_POLICY = ASPolicy()
+
+#: Default bound on the per-engine ``paths_to`` memo (entries, not bytes;
+#: each entry holds one path tuple per vantage point).
+DEFAULT_PATHS_CACHE_SIZE = 8192
+
+
+class _ClassFilters:
+    """One route class resolved against every AS policy.
+
+    ``drops_everywhere`` — ASes that refuse the class from any neighbour
+    (ROV deployments when the class is RPKI Invalid).
+    ``drops_peers`` — ASes refusing the class over peer sessions
+    (superset of ``drops_everywhere``).
+    ``customer_filters`` — importer AS → ``(coverage, unfiltered
+    customers)`` for ASes whose customer sessions filter the class.
+    """
+
+    __slots__ = ("drops_everywhere", "drops_peers", "customer_filters", "signature")
+
+    def __init__(
+        self,
+        drops_everywhere: frozenset[int],
+        drops_peers: frozenset[int],
+        customer_filters: dict[int, tuple[float, frozenset[int]]],
+    ):
+        self.drops_everywhere = drops_everywhere
+        self.drops_peers = drops_peers
+        self.customer_filters = customer_filters
+        #: Canonical hashable form: equal signatures ⇒ identical propagation.
+        self.signature = (
+            tuple(sorted(drops_everywhere)),
+            tuple(sorted(drops_peers)),
+            tuple(
+                (asn, coverage, tuple(sorted(unfiltered)))
+                for asn, (coverage, unfiltered) in sorted(customer_filters.items())
+            ),
+        )
 
 
 class RouteKind(IntEnum):
@@ -48,7 +101,7 @@ class RouteKind(IntEnum):
     PROVIDER = 3
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Route:
     """The best route one AS holds toward an origin.
 
@@ -77,6 +130,7 @@ class PropagationEngine:
         self,
         topology: ASTopology,
         policies: Mapping[int, ASPolicy] | None = None,
+        paths_cache_size: int = DEFAULT_PATHS_CACHE_SIZE,
     ):
         self._topology = topology
         policies = policies or {}
@@ -91,6 +145,47 @@ class PropagationEngine:
             self._customers[asn] = tuple(sorted(topology.customers_of(asn)))
             self._peers[asn] = tuple(sorted(topology.peers_of(asn)))
             self._policies[asn] = policies.get(asn, _DEFAULT_POLICY)
+        self._paths_cache_size = paths_cache_size
+        self._init_caches()
+
+    def _init_caches(self) -> None:
+        # route class (as a bit pair) → resolved filter tables
+        self._class_filters: dict[tuple[bool, bool], _ClassFilters] = {}
+        # canonical signature → small interned id shared by equal classes
+        self._signature_ids: dict[tuple, int] = {}
+        # (origin, signature id, vantage tuple) → paths mapping
+        self._paths_cache: OrderedDict[tuple, dict[int, tuple[int, ...]]] = (
+            OrderedDict()
+        )
+        self._cache_hits = 0
+        self._cache_misses = 0
+        # target tuple → its transitive provider closure (see _closure_of)
+        self._target_closures: dict[tuple[int, ...], frozenset[int]] = {}
+        # target tuple → provider-first ordering of the closure, or None
+        # when the closure has a provider cycle (see _closure_order_of)
+        self._target_orders: dict[
+            tuple[int, ...], tuple[int, ...] | None
+        ] = {}
+
+    def __getstate__(self) -> dict:
+        # Workers rebuild caches locally; shipping a warm memo would bloat
+        # the pickle without changing any result.
+        state = self.__dict__.copy()
+        for transient in (
+            "_class_filters",
+            "_signature_ids",
+            "_paths_cache",
+            "_cache_hits",
+            "_cache_misses",
+            "_target_closures",
+            "_target_orders",
+        ):
+            state.pop(transient, None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._init_caches()
 
     @property
     def topology(self) -> ASTopology:
@@ -100,6 +195,74 @@ class PropagationEngine:
     def policy_of(self, asn: int) -> ASPolicy:
         """The import policy the engine applies at ``asn``."""
         return self._policies[asn]
+
+    # -- route-class resolution and memoisation ------------------------------
+
+    def class_filters(self, route_class: RouteClass) -> _ClassFilters:
+        """Resolve ``route_class`` against every policy (cached).
+
+        The tables capture *everything* :meth:`ASPolicy.accepts` can do
+        with this class, so propagation needs no policy calls afterwards.
+        """
+        key = (route_class.rpki_invalid, route_class.irr_invalid)
+        filters = self._class_filters.get(key)
+        if filters is None:
+            rpki, irr = key
+            drops_everywhere: set[int] = set()
+            drops_peers: set[int] = set()
+            customer_filters: dict[int, tuple[float, frozenset[int]]] = {}
+            if rpki or irr:
+                for asn, policy in self._policies.items():
+                    if rpki and policy.rov:
+                        drops_everywhere.add(asn)
+                        drops_peers.add(asn)
+                        continue
+                    if (rpki and policy.filter_peers_rpki) or (
+                        irr and policy.filter_peers_irr
+                    ):
+                        drops_peers.add(asn)
+                    if (rpki and policy.filter_customers_rpki) or (
+                        irr and policy.filter_customers_irr
+                    ):
+                        customer_filters[asn] = (
+                            policy.customer_filter_coverage,
+                            policy.unfiltered_customers,
+                        )
+            filters = _ClassFilters(
+                frozenset(drops_everywhere),
+                frozenset(drops_peers),
+                customer_filters,
+            )
+            self._class_filters[key] = filters
+        return filters
+
+    def signature_id(self, route_class: RouteClass) -> int:
+        """Interned id of the class's effective-filter signature.
+
+        Two route classes with the same id propagate identically from
+        every origin (e.g. RPKI-Valid and NotFound announcements, or any
+        two classes when no AS filters at all), so they share memoised
+        results.
+        """
+        signature = self.class_filters(route_class).signature
+        sig_id = self._signature_ids.get(signature)
+        if sig_id is None:
+            sig_id = len(self._signature_ids)
+            self._signature_ids[signature] = sig_id
+        return sig_id
+
+    def cache_info(self) -> dict[str, int]:
+        """Hit/miss/size counters of the ``paths_to`` memo."""
+        return {
+            "hits": self._cache_hits,
+            "misses": self._cache_misses,
+            "size": len(self._paths_cache),
+            "max_size": self._paths_cache_size,
+        }
+
+    def clear_cache(self) -> None:
+        """Drop all memoised propagation results."""
+        self._paths_cache.clear()
 
     # -- public API ---------------------------------------------------------
 
@@ -111,27 +274,131 @@ class PropagationEngine:
     ) -> dict[int, Route]:
         """Compute selected routes toward ``origin``.
 
-        With ``targets`` given, provider routes (phase 3) are resolved only
-        for those ASes; the returned mapping contains every AS that holds a
-        customer/peer route plus any targets reachable via provider routes.
-        With ``targets=None``, provider routes are resolved for every AS.
+        With ``targets`` given, routes at the targets are exactly those of
+        a full propagation, but work off the targets' influence zone is
+        skipped: peer routes (phase 2) are only materialised inside the
+        targets' transitive provider closure — the only ASes whose routes
+        can feed a target's provider route — and provider routes (phase 3)
+        are resolved only for the targets.  Entries for ASes outside the
+        targets are a by-product and callers must not rely on them.
+        With ``targets=None``, every phase runs globally and the mapping
+        holds the selected route of every AS that accepts one.
         """
         if origin not in self._providers:
             raise TopologyError(f"unknown origin AS{origin}")
-        routes = self._customer_routes(origin, route_class)
-        self._peer_routes(routes, route_class)
+        filters = self.class_filters(route_class)
+        relevant: frozenset[int] | None = None
+        if targets is not None:
+            targets = tuple(targets)
+            relevant = self._closure_of(targets)
+        routes = self._customer_routes(origin, filters)
+        self._peer_routes(routes, filters, relevant)
+        if targets is not None:
+            order = self._closure_order_of(targets)
+            if order is not None:
+                # Provider-first order: every provider of `asn` inside the
+                # closure is finalised before `asn`, so one linear pass
+                # replaces the recursion below with identical selections.
+                providers = self._providers
+                drops = filters.drops_everywhere
+                routes_get = routes.get
+                for asn in order:
+                    if asn in routes or asn in drops:
+                        continue
+                    best_len = 0
+                    best_route = None
+                    for provider in providers[asn]:
+                        route = routes_get(provider)
+                        if route is None:
+                            continue
+                        path_len = len(route.path)
+                        # providers iterate in ascending ASN order, so a
+                        # strict < keeps the lowest-ASN provider on ties.
+                        if best_route is None or path_len < best_len:
+                            best_len = path_len
+                            best_route = route
+                    if best_route is not None:
+                        routes[asn] = Route(
+                            RouteKind.PROVIDER, (asn,) + best_route.path
+                        )
+                return routes
         memo: dict[int, Route | None] = {}
         if targets is None:
             pending = [asn for asn in self._providers if asn not in routes]
         else:
             pending = [asn for asn in targets if asn not in routes]
         for asn in pending:
-            if asn not in self._providers:
-                raise TopologyError(f"unknown target AS{asn}")
-            route = self._provider_route(asn, routes, route_class, memo)
+            route = self._provider_route(asn, routes, filters, memo)
             if route is not None:
                 routes[asn] = route
         return routes
+
+    def _closure_of(self, targets: tuple[int, ...]) -> frozenset[int]:
+        """Targets plus every transitive provider of a target (cached).
+
+        Provider-route resolution at a target only ever consults routes at
+        ASes in this set, so phases 2 and 3 need not look outside it.
+        Collection reuses one vantage-point tuple across thousands of
+        origins, so the closure is computed once per engine.
+        """
+        closure = self._target_closures.get(targets)
+        if closure is None:
+            providers = self._providers
+            seen: set[int] = set()
+            stack: list[int] = []
+            for asn in targets:
+                if asn not in providers:
+                    raise TopologyError(f"unknown target AS{asn}")
+                if asn not in seen:
+                    seen.add(asn)
+                    stack.append(asn)
+            while stack:
+                for provider in providers[stack.pop()]:
+                    if provider not in seen:
+                        seen.add(provider)
+                        stack.append(provider)
+            closure = frozenset(seen)
+            self._target_closures[targets] = closure
+        return closure
+
+    def _closure_order_of(
+        self, targets: tuple[int, ...]
+    ) -> tuple[int, ...] | None:
+        """Provider-first ordering of the targets' closure (cached).
+
+        Kahn's algorithm over the provider edges inside the closure; an AS
+        is emitted only after all its (in-closure) providers.  Returns
+        ``None`` when the closure contains a provider cycle (pathological
+        hand-built topologies) — callers then fall back to the recursive
+        resolution, which handles cycles.
+        """
+        order = self._target_orders.get(targets, False)
+        if order is False:
+            closure = self._closure_of(targets)
+            providers = self._providers
+            remaining = {
+                asn: len(providers[asn]) for asn in closure
+            }
+            dependents: dict[int, list[int]] = {asn: [] for asn in closure}
+            for asn in closure:
+                for provider in providers[asn]:
+                    dependents[provider].append(asn)
+            ready = sorted(
+                asn for asn, count in remaining.items() if count == 0
+            )
+            emitted: list[int] = []
+            while ready:
+                next_ready: list[int] = []
+                for asn in ready:
+                    emitted.append(asn)
+                    for customer in dependents[asn]:
+                        remaining[customer] -= 1
+                        if remaining[customer] == 0:
+                            next_ready.append(customer)
+                ready = sorted(next_ready)
+            order = tuple(emitted) if len(emitted) == len(closure) else None
+            self._target_orders[targets] = order
+        return order
 
     def paths_to(
         self,
@@ -143,50 +410,140 @@ class PropagationEngine:
 
         Vantage points with no route (e.g. the announcement was filtered on
         every valley-free path to them) are absent from the result.
+
+        Results are memoised per ``(origin, filter signature, vantage
+        points)`` — see the module docstring — so repeated collection over
+        the same engine is close to free.
         """
-        vantage_points = list(vantage_points)
-        routes = self.propagate(origin, route_class, targets=vantage_points)
-        return {
-            vp: routes[vp].path for vp in vantage_points if vp in routes
+        vantage_points = tuple(vantage_points)
+        cache = self._paths_cache
+        key = None
+        if self._paths_cache_size > 0:
+            key = (origin, self.signature_id(route_class), vantage_points)
+            cached = cache.get(key)
+            if cached is not None:
+                cache.move_to_end(key)
+                self._cache_hits += 1
+                return dict(cached)
+            self._cache_misses += 1
+        if origin not in self._providers:
+            raise TopologyError(f"unknown origin AS{origin}")
+        filters = self.class_filters(route_class)
+        order = self._closure_order_of(vantage_points)
+        if order is not None:
+            paths = self._fast_paths(origin, filters, vantage_points, order)
+        else:
+            routes = self.propagate(
+                origin, route_class, targets=vantage_points
+            )
+            paths = {
+                vp: routes[vp].path for vp in vantage_points if vp in routes
+            }
+        if key is not None:
+            cache[key] = paths
+            if len(cache) > self._paths_cache_size:
+                cache.popitem(last=False)
+            return dict(paths)
+        return paths
+
+    def _fast_paths(
+        self,
+        origin: int,
+        filters: _ClassFilters,
+        targets: tuple[int, ...],
+        order: tuple[int, ...],
+    ) -> dict[int, tuple[int, ...]]:
+        """Collection fast path: selected AS paths at ``targets`` only.
+
+        Mirrors :meth:`propagate` with ``targets`` phase for phase but
+        works on bare path tuples — route kinds are implicit in the phase
+        structure (phase 1 yields customer/origin routes, closure peers
+        are added from phase-1 holders only, the provider pass consumes
+        anything) — so the hot loops skip :class:`Route` construction.
+        """
+        relevant = self._closure_of(targets)
+        base = {
+            asn: route.path
+            for asn, route in self._customer_routes(origin, filters).items()
         }
+        merged = dict(base)
+        # Phase 2, restricted: closure peers of customer-route holders.
+        drops_peers = filters.drops_peers
+        peers_of = self._peers
+        base_get = base.get
+        for asn in relevant:
+            if asn in base or asn in drops_peers:
+                continue
+            best_len = 0
+            best_path = None
+            for peer in peers_of[asn]:
+                path = base_get(peer)
+                if path is None:
+                    continue
+                if best_path is None or len(path) < best_len:
+                    best_len = len(path)
+                    best_path = path
+            if best_path is not None:
+                merged[asn] = (asn,) + best_path
+        # Phase 3: one provider-first pass over the closure ordering.
+        drops = filters.drops_everywhere
+        providers = self._providers
+        merged_get = merged.get
+        for asn in order:
+            if asn in merged or asn in drops:
+                continue
+            best_len = 0
+            best_path = None
+            for provider in providers[asn]:
+                path = merged_get(provider)
+                if path is None:
+                    continue
+                if best_path is None or len(path) < best_len:
+                    best_len = len(path)
+                    best_path = path
+            if best_path is not None:
+                merged[asn] = (asn,) + best_path
+        return {vp: merged[vp] for vp in targets if vp in merged}
 
     # -- phase 1: customer routes -------------------------------------------
 
     def _customer_routes(
-        self, origin: int, route_class: RouteClass
+        self, origin: int, filters: _ClassFilters
     ) -> dict[int, Route]:
         routes: dict[int, Route] = {
             origin: Route(RouteKind.ORIGIN, (origin,))
         }
         frontier = [origin]
-        filtered = route_class.rpki_invalid or route_class.irr_invalid
+        drops = filters.drops_everywhere
+        customer_filters = filters.customer_filters
+        filtered = bool(drops) or bool(customer_filters)
         while frontier:
             # children proposing a route to each not-yet-routed provider
-            candidates: dict[int, list[int]] = {}
+            candidates: defaultdict[int, list[int]] = defaultdict(list)
             for child in frontier:
                 for provider in self._providers[child]:
                     if provider in routes:
                         continue
-                    candidates.setdefault(provider, []).append(child)
+                    candidates[provider].append(child)
             frontier = []
             for provider, children in candidates.items():
-                policy = self._policies[provider]
                 if filtered:
-                    # A provider may filter some customer sessions but not
-                    # others (partial Action 1 coverage): take the lowest-
-                    # ASN child whose session passes the import policy.
-                    children = [
-                        child
-                        for child in children
-                        if policy.accepts(
-                            route_class,
-                            NeighborKind.CUSTOMER,
-                            neighbor=child,
-                            importer=provider,
-                        )
-                    ]
-                    if not children:
+                    if provider in drops:
                         continue
+                    session_filter = customer_filters.get(provider)
+                    if session_filter is not None:
+                        # A provider may filter some customer sessions but
+                        # not others (partial Action 1 coverage): take the
+                        # lowest-ASN child whose session passes.
+                        coverage, unfiltered = session_filter
+                        children = [
+                            child
+                            for child in children
+                            if child in unfiltered
+                            or not covers_session(provider, child, coverage)
+                        ]
+                        if not children:
+                            continue
                 child = min(children)
                 routes[provider] = Route(
                     RouteKind.CUSTOMER, (provider,) + routes[child].path
@@ -197,24 +554,52 @@ class PropagationEngine:
     # -- phase 2: peer routes -------------------------------------------------
 
     def _peer_routes(
-        self, routes: dict[int, Route], route_class: RouteClass
+        self,
+        routes: dict[int, Route],
+        filters: _ClassFilters,
+        relevant: frozenset[int] | None = None,
     ) -> None:
         # Only ASes holding customer/origin routes export over peer links.
+        # With ``relevant`` given, peer routes are materialised only there
+        # (the selection per importer is unchanged — every exporter still
+        # competes — so relevant ASes get exactly their global-run route).
+        drops_peers = filters.drops_peers
+        peers_of = self._peers
+        if relevant is not None:
+            routes_get = routes.get
+            additions: list[tuple[int, int]] = []
+            for asn in relevant:
+                if asn in routes or asn in drops_peers:
+                    continue
+                best_len = 0
+                best_holder = -1
+                for peer in peers_of[asn]:
+                    route = routes_get(peer)
+                    if route is None or route.kind > RouteKind.CUSTOMER:
+                        continue
+                    path_len = len(route.path)
+                    # peers iterate in ascending ASN order, so a strict <
+                    # keeps the lowest-ASN exporter on equal-length ties.
+                    if best_holder < 0 or path_len < best_len:
+                        best_len = path_len
+                        best_holder = peer
+                if best_holder >= 0:
+                    additions.append((asn, best_holder))
+            for asn, holder in additions:
+                routes[asn] = Route(RouteKind.PEER, (asn,) + routes[holder].path)
+            return
         candidates: dict[int, tuple[int, int]] = {}
         for holder, route in routes.items():
             if route.kind not in (RouteKind.ORIGIN, RouteKind.CUSTOMER):
                 continue
-            key = (route.length, holder)
-            for peer in self._peers[holder]:
-                if peer in routes:
+            key = (len(route.path) - 1, holder)
+            for peer in peers_of[holder]:
+                if peer in routes or peer in drops_peers:
                     continue
                 best = candidates.get(peer)
                 if best is None or key < best:
                     candidates[peer] = key
         for peer, (_, holder) in candidates.items():
-            policy = self._policies[peer]
-            if not policy.accepts(route_class, NeighborKind.PEER):
-                continue
             routes[peer] = Route(RouteKind.PEER, (peer,) + routes[holder].path)
 
     # -- phase 3: provider routes (lazy) --------------------------------------
@@ -223,7 +608,7 @@ class PropagationEngine:
         self,
         asn: int,
         routes: dict[int, Route],
-        route_class: RouteClass,
+        filters: _ClassFilters,
         memo: dict[int, Route | None],
     ) -> Route | None:
         if asn in memo:
@@ -231,8 +616,7 @@ class PropagationEngine:
         # Guard against provider cycles in pathological topologies: mark
         # in-progress as unreachable; a cyclic chain cannot yield a route.
         memo[asn] = None
-        policy = self._policies[asn]
-        if not policy.accepts(route_class, NeighborKind.PROVIDER):
+        if asn in filters.drops_everywhere:
             return None
         best: tuple[int, int] | None = None
         best_route: Route | None = None
@@ -240,11 +624,11 @@ class PropagationEngine:
             provider_route = routes.get(provider)
             if provider_route is None:
                 provider_route = self._provider_route(
-                    provider, routes, route_class, memo
+                    provider, routes, filters, memo
                 )
             if provider_route is None:
                 continue
-            key = (provider_route.length, provider)
+            key = (len(provider_route.path) - 1, provider)
             if best is None or key < best:
                 best = key
                 best_route = provider_route

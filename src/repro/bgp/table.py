@@ -27,6 +27,7 @@ class Prefix2AS:
     def __init__(self, origins: dict[Prefix, frozenset[int]]):
         self._origins = dict(origins)
         self._by_origin: dict[int, list[Prefix]] | None = None
+        self._origin_asns: list[int] | None = None
 
     @classmethod
     def from_rib(cls, snapshot: RibSnapshot) -> "Prefix2AS":
@@ -54,17 +55,24 @@ class Prefix2AS:
             for prefix, origins in self._origins.items():
                 for origin in origins:
                     index.setdefault(origin, []).append(prefix)
+            # Sort once at index build: the saturation sweeps query
+            # prefixes_of for every origin per year, and the mapping is
+            # immutable, so per-call sorting was pure rework.
+            for prefixes in index.values():
+                prefixes.sort()
             self._by_origin = index
         return self._by_origin
 
     def prefixes_of(self, asn: int) -> list[Prefix]:
-        """Prefixes originated by ``asn``."""
-        return sorted(self._origin_index().get(asn, []))
+        """Prefixes originated by ``asn``, in address order."""
+        return list(self._origin_index().get(asn, ()))
 
     @property
     def origin_asns(self) -> list[int]:
         """All ASNs that originate at least one prefix."""
-        return sorted(self._origin_index())
+        if self._origin_asns is None:
+            self._origin_asns = sorted(self._origin_index())
+        return self._origin_asns
 
     def address_space_of(self, asns: frozenset[int] | set[int]) -> int:
         """Distinct IPv4 addresses originated by the given ASes."""

@@ -24,6 +24,7 @@ DEFAULT_TRIM = 0.1
 def hegemony_scores(
     paths: Sequence[tuple[int, ...]],
     trim: float = DEFAULT_TRIM,
+    prestripped: bool = False,
 ) -> dict[int, float]:
     """Local hegemony of every transit AS over the given viewpoint paths.
 
@@ -31,6 +32,10 @@ def hegemony_scores(
     origin AS are excluded (the former is monitor bias, the latter is the
     trivial hegemony-1 case).  Returns only ASes with a non-zero trimmed
     score.
+
+    ``prestripped=True`` declares the paths already prepending-free
+    (e.g. shared with a caller that stripped them for its own analysis),
+    skipping the per-path :func:`strip_prepending` pass.
     """
     if not 0 <= trim < 0.5:
         raise ValueError(f"trim must be in [0, 0.5), got {trim}")
@@ -38,10 +43,27 @@ def hegemony_scores(
     if n_paths == 0:
         return {}
     appearances: dict[int, int] = {}
+    get = appearances.get
     for path in paths:
-        stripped = strip_prepending(path)
-        for asn in set(stripped[1:-1]):
-            appearances[asn] = appearances.get(asn, 0) + 1
+        stripped = path if prestripped else strip_prepending(path)
+        # Stripped paths have no adjacent repeats, so paths with one or
+        # two transits (the overwhelming majority at collector vantage
+        # points) need no dedup set; longer middles could still revisit
+        # an AS non-adjacently, so they keep the set pass.
+        length = len(stripped)
+        if length <= 2:
+            continue
+        if length == 3:
+            asn = stripped[1]
+            appearances[asn] = get(asn, 0) + 1
+        elif length == 4:
+            asn = stripped[1]
+            appearances[asn] = get(asn, 0) + 1
+            asn = stripped[2]
+            appearances[asn] = get(asn, 0) + 1
+        else:
+            for asn in set(stripped[1:-1]):
+                appearances[asn] = get(asn, 0) + 1
     cut = math.floor(n_paths * trim)
     kept = n_paths - 2 * cut
     if kept <= 0:

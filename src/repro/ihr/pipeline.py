@@ -5,10 +5,17 @@ This reimplements the derivation the Internet Health Report performs
 and the IRR, compute AS-Hegemony scores for the transit ASes on paths
 toward it, and emit the prefix-origin and transit datasets the paper's
 conformance and impact analyses consume.
+
+The construction batches its lookups: all (prefix, origin) pairs are
+classified up front through the bulk/memoised validator paths (one radix
+walk per distinct prefix instead of one per record), and each group's
+vantage-point paths are prepending-stripped once and shared between the
+hegemony and learned-from-customer computations.
 """
 
 from __future__ import annotations
 
+from repro import perf
 from repro.bgp.collector import RibSnapshot
 from repro.hegemony.scores import DEFAULT_TRIM, hegemony_scores
 from repro.ihr.records import (
@@ -18,7 +25,7 @@ from repro.ihr.records import (
     TransitInfo,
 )
 from repro.irr.database import IRRCollection, IRRDatabase
-from repro.irr.validation import validate_irr
+from repro.irr.validation import validate_irr_many
 from repro.net.asn import strip_prepending
 from repro.rpki.rov import ROVValidator
 from repro.topology.model import ASTopology
@@ -44,63 +51,77 @@ def build_ihr_dataset(
     # Materialise customer sets once: ASTopology.customers_of copies a
     # frozenset per call, far too slow for millions of path positions.
     customers_of = {asn: topology.customers_of(asn) for asn in topology.asns}
-    for group in snapshot.groups:
-        if not group.paths:
-            continue  # invisible announcements never reach the IHR
-        statuses = tuple(
-            (rov.validate(prefix, group.origin), validate_irr(irr, prefix, group.origin))
+    visible = [group for group in snapshot.groups if group.paths]
+    with perf.stage("ihr.validate"):
+        routes = [
+            (prefix, group.origin)
+            for group in visible
             for prefix in group.prefixes
-        )
-        visibility = len(group.paths)
-        for prefix, (rpki_status, irr_status) in zip(group.prefixes, statuses):
-            prefix_origins.append(
-                PrefixOriginRecord(
-                    prefix=prefix,
+        ]
+        rpki_by_route = rov.validate_many(routes)
+        irr_by_route = validate_irr_many(irr, routes)
+    with perf.stage("ihr.hegemony"):
+        for group in visible:
+            statuses = tuple(
+                (
+                    rpki_by_route[(prefix, group.origin)],
+                    irr_by_route[(prefix, group.origin)],
+                )
+                for prefix in group.prefixes
+            )
+            visibility = len(group.paths)
+            for prefix, (rpki_status, irr_status) in zip(
+                group.prefixes, statuses
+            ):
+                prefix_origins.append(
+                    PrefixOriginRecord(
+                        prefix=prefix,
+                        origin=group.origin,
+                        rpki=rpki_status,
+                        irr=irr_status,
+                        visibility=visibility,
+                    )
+                )
+            stripped = [
+                strip_prepending(path) for path in group.paths.values()
+            ]
+            scores = hegemony_scores(stripped, trim=trim, prestripped=True)
+            if not scores:
+                continue
+            learned_from_customer = _customer_learning(stripped, customers_of)
+            transits = {
+                asn: TransitInfo(
+                    hegemony=score,
+                    from_customer=learned_from_customer.get(asn, False),
+                )
+                for asn, score in scores.items()
+            }
+            transit_groups.append(
+                TransitGroup(
                     origin=group.origin,
-                    rpki=rpki_status,
-                    irr=irr_status,
+                    prefixes=group.prefixes,
+                    statuses=statuses,
+                    transits=transits,
                     visibility=visibility,
                 )
             )
-        paths = list(group.paths.values())
-        scores = hegemony_scores(paths, trim=trim)
-        if not scores:
-            continue
-        learned_from_customer = _customer_learning(paths, customers_of)
-        transits = {
-            asn: TransitInfo(
-                hegemony=score,
-                from_customer=learned_from_customer.get(asn, False),
-            )
-            for asn, score in scores.items()
-        }
-        transit_groups.append(
-            TransitGroup(
-                origin=group.origin,
-                prefixes=group.prefixes,
-                statuses=statuses,
-                transits=transits,
-                visibility=visibility,
-            )
-        )
     return IHRDataset(prefix_origins=prefix_origins, transit_groups=transit_groups)
 
 
 def _customer_learning(
-    paths: list[tuple[int, ...]],
+    stripped_paths: list[tuple[int, ...]],
     customers_of: dict[int, frozenset[int]],
 ) -> dict[int, bool]:
     """For each on-path AS, did it learn the route from a direct customer?
 
-    On a path ``(vp, ..., t, next, ..., origin)`` the AS after ``t``
-    (toward the origin) is the neighbour ``t`` accepted the route from;
-    the flag is set when that neighbour is ``t``'s customer.  The
-    propagation engine gives every AS a single selected route, so the flag
-    is consistent across paths.
+    Paths arrive prepending-stripped.  On a path ``(vp, ..., t, next, ...,
+    origin)`` the AS after ``t`` (toward the origin) is the neighbour ``t``
+    accepted the route from; the flag is set when that neighbour is
+    ``t``'s customer.  The propagation engine gives every AS a single
+    selected route, so the flag is consistent across paths.
     """
     learned: dict[int, bool] = {}
-    for path in paths:
-        stripped = strip_prepending(path)
+    for stripped in stripped_paths:
         for position in range(1, len(stripped) - 1):
             transit = stripped[position]
             if transit in learned:

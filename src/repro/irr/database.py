@@ -31,6 +31,8 @@ class IRRDatabase:
     _routes: RadixTree[RouteObject] = field(default_factory=RadixTree)
     _aut_nums: dict[int, AutNumObject] = field(default_factory=dict)
     _as_sets: dict[str, AsSetObject] = field(default_factory=dict)
+    #: Bumped on every route mutation; memo owners key their caches on it.
+    _version: int = field(default=0, init=False, repr=False, compare=False)
 
     def add_route(self, route: RouteObject) -> None:
         """Register a route object.
@@ -56,10 +58,14 @@ class IRRDatabase:
                     f"space; {self.name} is authoritative"
                 )
         self._routes.insert(route.prefix, route)
+        self._version += 1
 
     def remove_route(self, route: RouteObject) -> bool:
         """Delete a route object; True if it was present."""
-        return self._routes.remove(route.prefix, route)
+        removed = self._routes.remove(route.prefix, route)
+        if removed:
+            self._version += 1
+        return removed
 
     def add_aut_num(self, aut_num: AutNumObject) -> None:
         """Register (or replace) the aut-num object for an ASN."""
@@ -72,6 +78,17 @@ class IRRDatabase:
     def routes_covering(self, prefix: Prefix) -> list[RouteObject]:
         """Route objects whose prefix contains ``prefix``."""
         return self._routes.covering(prefix)
+
+    def routes_covering_many(
+        self, prefixes: Iterable[Prefix]
+    ) -> dict[Prefix, list[RouteObject]]:
+        """Covering route objects for many prefixes (one bulk trie walk)."""
+        return self._routes.covering_many(prefixes)
+
+    @property
+    def version(self) -> int:
+        """Mutation counter for cache invalidation."""
+        return self._version
 
     def routes_exact(self, prefix: Prefix) -> list[RouteObject]:
         """Route objects registered at exactly ``prefix``."""
@@ -132,6 +149,36 @@ class IRRCollection:
         for database in self._databases.values():
             found.extend(database.routes_covering(prefix))
         return found
+
+    def routes_covering_many(
+        self, prefixes: Iterable[Prefix]
+    ) -> dict[Prefix, list[RouteObject]]:
+        """Covering route objects for many deduplicated prefixes.
+
+        Per-prefix result order matches :meth:`routes_covering`:
+        database registration order first, then least- to most-specific
+        within each database.  One walk set per distinct prefix — per-
+        database bulk dicts merged afterwards were measured here and
+        lost to the merge's own dict traffic.
+        """
+        databases = list(self._databases.values())
+        combined: dict[Prefix, list[RouteObject]] = {}
+        for prefix in prefixes:
+            if prefix in combined:
+                continue
+            found: list[RouteObject] = []
+            for database in databases:
+                found.extend(database.routes_covering(prefix))
+            combined[prefix] = found
+        return combined
+
+    @property
+    def version(self) -> tuple[int, int]:
+        """Combined mutation counter over member databases."""
+        return (
+            len(self._databases),
+            sum(db.version for db in self._databases.values()),
+        )
 
     def as_set(self, name: str) -> AsSetObject | None:
         """First as-set with this name across member databases."""

@@ -11,16 +11,25 @@ its max-length (the IRR has no maxLength attribute):
 * **INVALID_ORIGIN** — covering objects exist but none matches the origin
   (the paper's "IRR Invalid");
 * **NOT_FOUND** — no covering route object.
+
+Classification is memoised per registry: registries are built once per
+snapshot and then queried heavily with repeating (prefix, origin) pairs
+(announcement classing, the IHR pipeline, conformance checks), so each
+pair's covering-object walk runs once per registry state.  The memo is
+stored on the registry object and keyed by its mutation counter, so
+adding or removing route objects transparently invalidates it.
 """
 
 from __future__ import annotations
 
 from enum import Enum
+from typing import Iterable
 
 from repro.irr.database import IRRCollection, IRRDatabase
+from repro.irr.objects import RouteObject
 from repro.net.prefix import Prefix
 
-__all__ = ["IRRStatus", "validate_irr"]
+__all__ = ["IRRStatus", "validate_irr", "validate_irr_many"]
 
 
 class IRRStatus(str, Enum):
@@ -38,11 +47,10 @@ class IRRStatus(str, Enum):
         return self is IRRStatus.INVALID_ORIGIN
 
 
-def validate_irr(
-    registry: IRRCollection | IRRDatabase, prefix: Prefix, origin: int
+def _classify(
+    covering: list[RouteObject], prefix: Prefix, origin: int
 ) -> IRRStatus:
-    """Classify one route against the registry's route objects."""
-    covering = registry.routes_covering(prefix)
+    """Classification given the covering route objects."""
     if not covering:
         return IRRStatus.NOT_FOUND
     origin_match = False
@@ -52,3 +60,78 @@ def validate_irr(
                 return IRRStatus.VALID
             origin_match = True
     return IRRStatus.INVALID_LENGTH if origin_match else IRRStatus.INVALID_ORIGIN
+
+
+def _memo_of(
+    registry: IRRCollection | IRRDatabase,
+) -> dict[tuple[Prefix, int], IRRStatus] | None:
+    """The registry's current-state memo, or None if unsupported.
+
+    The memo lives in the registry object's ``__dict__`` tagged with the
+    mutation counter it was built against; any mutation since then makes
+    it stale and it is replaced with a fresh one.
+    """
+    version = getattr(registry, "version", None)
+    if version is None:
+        return None
+    cached = getattr(registry, "_validation_memo", None)
+    if cached is not None and cached[0] == version:
+        return cached[1]
+    memo: dict[tuple[Prefix, int], IRRStatus] = {}
+    try:
+        registry._validation_memo = (version, memo)
+    except AttributeError:  # e.g. a slotted test double
+        return None
+    return memo
+
+
+def validate_irr(
+    registry: IRRCollection | IRRDatabase, prefix: Prefix, origin: int
+) -> IRRStatus:
+    """Classify one route against the registry's route objects."""
+    memo = _memo_of(registry)
+    if memo is None:
+        return _classify(registry.routes_covering(prefix), prefix, origin)
+    key = (prefix, origin)
+    status = memo.get(key)
+    if status is None:
+        status = _classify(registry.routes_covering(prefix), prefix, origin)
+        memo[key] = status
+    return status
+
+
+def validate_irr_many(
+    registry: IRRCollection | IRRDatabase,
+    routes: Iterable[tuple[Prefix, int]],
+) -> dict[tuple[Prefix, int], IRRStatus]:
+    """Classify a batch of routes with one bulk covering walk.
+
+    Equivalent to calling :func:`validate_irr` per route; covering
+    objects for all not-yet-memoised prefixes are collected via the
+    registry's ``routes_covering_many`` bulk lookup first.
+    """
+    routes = set(routes)
+    memo = _memo_of(registry)
+    if memo is None:
+        return {
+            key: _classify(registry.routes_covering(key[0]), key[0], key[1])
+            for key in routes
+        }
+    results: dict[tuple[Prefix, int], IRRStatus] = {}
+    pending: list[tuple[Prefix, int]] = []
+    for key in routes:
+        status = memo.get(key)
+        if status is None:
+            pending.append(key)
+        else:
+            results[key] = status
+    if pending:
+        covering = registry.routes_covering_many(
+            prefix for prefix, _ in pending
+        )
+        for key in pending:
+            prefix, origin = key
+            status = _classify(covering[prefix], prefix, origin)
+            memo[key] = status
+            results[key] = status
+    return results

@@ -8,6 +8,8 @@ dumps).
 
 from __future__ import annotations
 
+from itertools import groupby, islice
+from operator import eq
 from typing import Iterable, Sequence
 
 from repro.errors import ASNError
@@ -79,13 +81,17 @@ def strip_prepending(path: Iterable[int]) -> tuple[int, ...]:
     """Collapse consecutive duplicate ASNs (AS-path prepending).
 
     Hegemony and transit analyses count each AS once per path, so prepended
-    paths must be deduplicated while preserving order.
+    paths must be deduplicated while preserving order.  This sits on the
+    IHR hot path (once per route group and vantage point), and paths from
+    the propagation engine never contain prepending, so the common case is
+    a C-level adjacent-pair scan that returns the input tuple untouched;
+    only paths that actually repeat pay for the ``groupby`` collapse.
     """
-    stripped: list[int] = []
-    for asn in path:
-        if not stripped or stripped[-1] != asn:
-            stripped.append(asn)
-    return tuple(stripped)
+    if not isinstance(path, tuple):
+        path = tuple(path)
+    if any(map(eq, path, islice(path, 1, None))):
+        return tuple(asn for asn, _ in groupby(path))
+    return path
 
 
 def is_private_asn(asn: int) -> bool:

@@ -107,7 +107,7 @@ class Prefix:
     zero; :meth:`from_host` masks them off instead of raising.
     """
 
-    __slots__ = ("_value", "_length", "_version")
+    __slots__ = ("_value", "_length", "_version", "_hash")
 
     def __init__(self, value: int, length: int, version: int = 4):
         if version not in (4, 6):
@@ -126,6 +126,10 @@ class Prefix:
         self._value = value
         self._length = length
         self._version = version
+        # Prefixes key the hot dicts of the whole pipeline (validation
+        # memos, RIB group indexes, radix query dedupe); hashing a fresh
+        # tuple per lookup dominates those paths, so cache it once.
+        self._hash = hash((version, value, length))
 
     # -- constructors -----------------------------------------------------
 
@@ -273,7 +277,7 @@ class Prefix:
         )
 
     def __hash__(self) -> int:
-        return hash((self._version, self._value, self._length))
+        return self._hash
 
     def __str__(self) -> str:
         return f"{self.network_address}/{self._length}"

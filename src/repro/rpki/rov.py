@@ -19,6 +19,7 @@ from __future__ import annotations
 from enum import Enum
 from typing import Iterable
 
+from repro import perf
 from repro.net.prefix import Prefix
 from repro.net.radix import RadixTree
 from repro.rpki.roa import VRP
@@ -40,16 +41,42 @@ class RPKIStatus(str, Enum):
         return self in (RPKIStatus.INVALID_ASN, RPKIStatus.INVALID_LENGTH)
 
 
+def _classify(covering: list[VRP], prefix: Prefix, origin: int) -> RPKIStatus:
+    """RFC 6811 classification given the covering VRPs."""
+    if not covering:
+        return RPKIStatus.NOT_FOUND
+    asn_match = False
+    for vrp in covering:
+        if vrp.asn == origin and vrp.asn != 0:
+            if prefix.length <= vrp.max_length:
+                return RPKIStatus.VALID
+            asn_match = True
+    return RPKIStatus.INVALID_LENGTH if asn_match else RPKIStatus.INVALID_ASN
+
+
 class ROVValidator:
-    """Stateful validator over a fixed VRP set."""
+    """Stateful validator over a fixed VRP set.
+
+    The VRP set is frozen at construction, so per-route verdicts are
+    memoised: within one snapshot the same (prefix, origin) is typically
+    classified several times (announcement classing, the IHR pipeline,
+    conformance analyses) and only the first lookup walks the trie.
+    """
 
     def __init__(self, vrps: Iterable[VRP]):
         self._tree: RadixTree[VRP] = RadixTree()
         count = 0
-        for vrp in vrps:
-            self._tree.insert(vrp.prefix, vrp)
-            count += 1
+        # Pause cyclic GC for the node burst: timeline sweeps construct a
+        # validator per year inside an already-large process, where every
+        # few hundred node allocations would otherwise trigger a full
+        # generation-0 scan of the world graph.
+        with perf.gc_paused():
+            for vrp in vrps:
+                self._tree.insert(vrp.prefix, vrp)
+                count += 1
         self._count = count
+        self._memo: dict[tuple[Prefix, int], RPKIStatus] = {}
+        self._covered_memo: dict[Prefix, bool] = {}
 
     def __len__(self) -> int:
         """Number of VRPs loaded."""
@@ -65,21 +92,56 @@ class ROVValidator:
 
     def validate(self, prefix: Prefix, origin: int) -> RPKIStatus:
         """Classify one route against the loaded VRPs."""
-        covering = self._tree.covering(prefix)
-        if not covering:
-            return RPKIStatus.NOT_FOUND
-        asn_match = False
-        for vrp in covering:
-            if vrp.asn == origin and vrp.asn != 0:
-                if prefix.length <= vrp.max_length:
-                    return RPKIStatus.VALID
-                asn_match = True
-        return RPKIStatus.INVALID_LENGTH if asn_match else RPKIStatus.INVALID_ASN
+        key = (prefix, origin)
+        status = self._memo.get(key)
+        if status is None:
+            status = _classify(self._tree.covering(prefix), prefix, origin)
+            self._memo[key] = status
+        return status
+
+    def validate_many(
+        self, routes: Iterable[tuple[Prefix, int]]
+    ) -> dict[tuple[Prefix, int], RPKIStatus]:
+        """Classify a batch of routes with one bulk trie walk.
+
+        Equivalent to calling :meth:`validate` per route, but covering
+        VRPs for all not-yet-memoised prefixes are gathered via
+        :meth:`RadixTree.covering_many` first.
+        """
+        routes = set(routes)
+        results: dict[tuple[Prefix, int], RPKIStatus] = {}
+        pending: list[tuple[Prefix, int]] = []
+        for key in routes:
+            status = self._memo.get(key)
+            if status is None:
+                pending.append(key)
+            else:
+                results[key] = status
+        if pending:
+            covering = self._tree.covering_many(prefix for prefix, _ in pending)
+            for key in pending:
+                prefix, origin = key
+                status = _classify(covering[prefix], prefix, origin)
+                self._memo[key] = status
+                results[key] = status
+        return results
 
     def covered_space(self, prefixes: Iterable[Prefix]) -> list[Prefix]:
         """Subset of ``prefixes`` that have at least one covering VRP.
 
         This is the paper's "ROA covered ... address space" numerator for
-        RPKI saturation (Equation 7/8).
+        RPKI saturation (Equation 7/8).  Coverage per prefix is memoised:
+        saturation sweeps re-query the same routed table against one
+        validator (member and non-member splits, repeated series).
         """
-        return [p for p in prefixes if self._tree.has_covering(p)]
+        memo = self._covered_memo
+        has_covering = self._tree.has_covering
+        result: list[Prefix] = []
+        for prefix in prefixes:
+            covered = memo.get(prefix)
+            if covered is None:
+                covered = has_covering(prefix)
+                memo[prefix] = covered
+            if covered:
+                result.append(prefix)
+        return result

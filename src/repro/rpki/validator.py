@@ -6,6 +6,15 @@ revoked) and that resources are contained in the issuer's resources, and
 that the ROA itself is current and within its certificate's resources.
 Surviving ROAs become :class:`~repro.rpki.roa.VRP` objects — the input to
 route origin validation.
+
+:class:`IncrementalRelyingParty` serves repeated validations of one
+repository at many dates (annual timelines, VRP archives).  A ROA's
+verdict depends on static facts (orphanhood, resource containment, chain
+resolution) and on date windows (its own and its chain's not_before /
+not_after); precomputing both reduces each additional validation run to
+one pair of date comparisons per ROA.  Only objects whose validity
+window is crossed between two query dates can change verdict — the full
+walk is never repeated.
 """
 
 from __future__ import annotations
@@ -17,7 +26,7 @@ from repro.errors import RPKIError
 from repro.rpki.ca import RPKIRepository, ResourceCertificate
 from repro.rpki.roa import ROA, VRP
 
-__all__ = ["ValidationReport", "RelyingParty"]
+__all__ = ["ValidationReport", "RelyingParty", "IncrementalRelyingParty"]
 
 
 @dataclass
@@ -96,3 +105,145 @@ class RelyingParty:
                     break
         cache[certificate.certificate_id] = valid
         return valid
+
+
+#: Sentinel windows for "never valid" plans.
+_NEVER = (date.max, date.min)
+
+
+@dataclass(frozen=True)
+class _RoaPlan:
+    """Date-independent facts about one ROA plus its validity windows.
+
+    Evaluating a plan at a date replays exactly the checks (and check
+    order, hence rejection-reason attribution) of
+    :meth:`RelyingParty.validate`: orphan, ROA currency, certificate
+    coverage, chain validity.
+    """
+
+    #: Rejection reason decided without looking at the date, or None.
+    static_reason: str | None
+    #: The ROA's own [not_before, not_after] window.
+    roa_window: tuple[date, date]
+    #: Reason checked after ROA currency but before the chain, or None.
+    coverage_reason: str | None
+    #: Intersection of the chain's windows; ``_NEVER`` when the chain is
+    #: unresolvable or over-claiming (statically invalid).
+    chain_window: tuple[date, date]
+    #: The VRP emitted whenever every check passes.
+    vrp: VRP
+
+
+class IncrementalRelyingParty:
+    """Relying party specialised for many validations at many dates.
+
+    Results are identical to ``RelyingParty(repository).validate(as_of)``
+    (asserted in the equivalence tests); the precomputed per-ROA plans
+    are invalidated whenever the repository grows.
+    """
+
+    def __init__(self, repository: RPKIRepository):
+        self._repository = repository
+        self._plans: list[_RoaPlan] | None = None
+        self._fingerprint: tuple[int, int, int] | None = None
+
+    def _current_fingerprint(self) -> tuple[int, int, int]:
+        # Revocation swaps a certificate in place (same id, same count),
+        # so the revoked tally must be part of the staleness check.
+        return (
+            len(self._repository.roas),
+            len(self._repository.certificates),
+            sum(
+                1
+                for certificate in self._repository.certificates.values()
+                if certificate.revoked
+            ),
+        )
+
+    def validate(self, as_of: date) -> ValidationReport:
+        """Produce the VRP set a router would receive on ``as_of``."""
+        fingerprint = self._current_fingerprint()
+        if self._plans is None or fingerprint != self._fingerprint:
+            self._plans = self._build_plans()
+            self._fingerprint = fingerprint
+        report = ValidationReport()
+        vrps = report.vrps
+        for plan in self._plans:
+            if plan.static_reason is not None:
+                report._reject(plan.static_reason)
+                continue
+            low, high = plan.roa_window
+            if not low <= as_of <= high:
+                report._reject("roa_expired")
+                continue
+            if plan.coverage_reason is not None:
+                report._reject(plan.coverage_reason)
+                continue
+            low, high = plan.chain_window
+            if not low <= as_of <= high:
+                report._reject("bad_certificate_chain")
+                continue
+            vrps.append(plan.vrp)
+        return report
+
+    def _build_plans(self) -> list[_RoaPlan]:
+        repository = self._repository
+        chain_windows: dict[str, tuple[date, date]] = {}
+        plans: list[_RoaPlan] = []
+        for roa in repository.roas:
+            certificate = repository.certificates.get(roa.certificate_id)
+            if certificate is None:
+                plans.append(
+                    _RoaPlan("orphan_roa", _NEVER, None, _NEVER, None)
+                )
+                continue
+            coverage_reason = (
+                None
+                if certificate.covers(roa.prefix)
+                else "roa_outside_certificate"
+            )
+            chain_window = chain_windows.get(certificate.certificate_id)
+            if chain_window is None:
+                chain_window = self._chain_window(certificate)
+                chain_windows[certificate.certificate_id] = chain_window
+            plans.append(
+                _RoaPlan(
+                    None,
+                    (roa.not_before, roa.not_after),
+                    coverage_reason,
+                    chain_window,
+                    VRP(
+                        prefix=roa.prefix,
+                        asn=roa.asn,
+                        max_length=roa.max_length,
+                        trust_anchor=certificate.trust_anchor,
+                    ),
+                )
+            )
+        return plans
+
+    def _chain_window(
+        self, certificate: ResourceCertificate
+    ) -> tuple[date, date]:
+        """Dates at which the chain validates, as one closed interval.
+
+        Every link must be simultaneously current, so the window is the
+        intersection of the links' windows; resolution failures and
+        over-claiming (both date-independent) collapse it to ``_NEVER``.
+        """
+        try:
+            chain = self._repository.chain_of(certificate)
+        except RPKIError:
+            return _NEVER
+        if any(link.revoked for link in chain):
+            return _NEVER
+        for child, parent in zip(chain, chain[1:]):
+            if not all(
+                parent.covers(resource) for resource in child.resources
+            ):
+                return _NEVER
+        low = max(link.not_before for link in chain)
+        high = min(link.not_after for link in chain)
+        if low > high:
+            return _NEVER
+        return (low, high)

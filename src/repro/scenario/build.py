@@ -21,6 +21,7 @@ from datetime import date, timedelta
 
 import numpy as np
 
+from repro import perf
 from repro.bgp.announcement import Announcement
 from repro.bgp.collector import collect_rib, select_vantage_points
 from repro.bgp.policy import ASPolicy, RouteClass
@@ -30,7 +31,7 @@ from repro.errors import AllocationError
 from repro.ihr.pipeline import build_ihr_dataset
 from repro.irr.database import IRRCollection, IRRDatabase
 from repro.irr.objects import AsSetObject, AutNumObject, RouteObject, as_set_member
-from repro.irr.validation import IRRStatus, validate_irr
+from repro.irr.validation import IRRStatus, validate_irr_many
 from repro.manrs.actions import Program
 from repro.manrs.recruitment import RecruitmentConfig, recruit
 from repro.manrs.registry import MANRSRegistry
@@ -59,22 +60,42 @@ def build_world(
     config: ScenarioConfig | None = None,
     topology_config: TopologyConfig | None = None,
     recruitment_config: RecruitmentConfig | None = None,
+    jobs: int | None = None,
 ) -> World:
     """Build a complete world.
 
     ``scale`` multiplies the topology population counts: 1.0 is the
     paper-shaped default (~10k ASes), small values (0.05–0.2) build
     test-sized worlds in well under a second.
+
+    ``jobs`` sets the worker count for the RIB-collection fan-out
+    (``None`` defers to the ``REPRO_JOBS`` environment variable; the
+    result is identical at any worker count).
     """
+    with perf.gc_paused(freeze=True):
+        return _build_world(
+            scale, seed, config, topology_config, recruitment_config, jobs
+        )
+
+
+def _build_world(
+    scale: float,
+    seed: int,
+    config: ScenarioConfig | None,
+    topology_config: TopologyConfig | None,
+    recruitment_config: RecruitmentConfig | None,
+    jobs: int | None,
+) -> World:
     config = config or ScenarioConfig()
     topology_config = (topology_config or TopologyConfig()).scaled(scale)
     rng = np.random.default_rng(seed)
 
-    generated = generate_topology(topology_config, seed=seed)
-    topology = generated.topology
-    manrs = recruit(topology, recruitment_config, seed=seed + 1)
-    as2org = As2Org.from_topology(topology)
-    size_of = classify_all(topology)
+    with perf.stage("build.topology"):
+        generated = generate_topology(topology_config, seed=seed)
+        topology = generated.topology
+        manrs = recruit(topology, recruitment_config, seed=seed + 1)
+        as2org = As2Org.from_topology(topology)
+        size_of = classify_all(topology)
 
     ctx = _BuildContext(
         config=config,
@@ -84,12 +105,16 @@ def build_world(
         manrs=manrs,
         size_of=size_of,
     )
-    ctx.pick_special_orgs()
-    ctx.sample_behaviors()
-    ctx.assign_rov_by_rank()
-    ctx.allocate_originations()
-    ctx.populate_rpki()
-    ctx.populate_irr()
+    with perf.stage("build.behaviors"):
+        ctx.pick_special_orgs()
+        ctx.sample_behaviors()
+        ctx.assign_rov_by_rank()
+    with perf.stage("build.originations"):
+        ctx.allocate_originations()
+    with perf.stage("build.rpki"):
+        ctx.populate_rpki()
+    with perf.stage("build.irr"):
+        ctx.populate_irr()
 
     policies = {
         asn: ASPolicy(
@@ -103,23 +128,31 @@ def build_world(
         )
         for asn, behavior in ctx.behaviors.items()
     }
-    relying_party = RelyingParty(ctx.rpki_repository)
-    rov = ROVValidator(relying_party.validate(config.snapshot_date).vrps)
+    with perf.stage("build.relying_party"):
+        relying_party = RelyingParty(ctx.rpki_repository)
+        rov = ROVValidator(relying_party.validate(config.snapshot_date).vrps)
 
-    announcements: list[tuple[Announcement, RouteClass]] = []
-    for asn in sorted(ctx.originations):
-        for origination in ctx.originations[asn]:
-            rpki_status = rov.validate(origination.prefix, asn)
-            irr_status = validate_irr(ctx.irr, origination.prefix, asn)
-            announcements.append(
-                (
-                    Announcement(origination.prefix, asn),
-                    RouteClass(
-                        rpki_invalid=rpki_status.is_invalid,
-                        irr_invalid=irr_status is IRRStatus.INVALID_ORIGIN,
-                    ),
-                )
+    with perf.stage("build.classify"):
+        routes = [
+            (origination.prefix, asn)
+            for asn in sorted(ctx.originations)
+            for origination in ctx.originations[asn]
+        ]
+        # Bulk classification also warms the validators' per-route memos,
+        # which the IHR pipeline re-queries for the visible routes below.
+        rpki_by_route = rov.validate_many(routes)
+        irr_by_route = validate_irr_many(ctx.irr, routes)
+        announcements: list[tuple[Announcement, RouteClass]] = [
+            (
+                Announcement(prefix, asn),
+                RouteClass(
+                    rpki_invalid=rpki_by_route[(prefix, asn)].is_invalid,
+                    irr_invalid=irr_by_route[(prefix, asn)]
+                    is IRRStatus.INVALID_ORIGIN,
+                ),
             )
+            for prefix, asn in routes
+        ]
 
     engine = PropagationEngine(topology, policies)
     vantage_points = select_vantage_points(
@@ -128,9 +161,11 @@ def build_world(
         n_small=config.n_small_vantage_points,
         seed=seed + 2,
     )
-    rib = collect_rib(engine, announcements, vantage_points)
+    with perf.stage("build.collect_rib"):
+        rib = collect_rib(engine, announcements, vantage_points, jobs=jobs)
     prefix2as = Prefix2AS.from_rib(rib)
-    ihr = build_ihr_dataset(rib, rov, ctx.irr, topology)
+    with perf.stage("build.ihr"):
+        ihr = build_ihr_dataset(rib, rov, ctx.irr, topology)
 
     return World(
         config=config,

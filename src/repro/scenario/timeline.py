@@ -20,13 +20,14 @@ from datetime import date, timedelta
 
 import numpy as np
 
+from repro import perf
 from repro.core.conformance import origination_stats
 from repro.core.impact import rpki_saturation
 from repro.core.participation import members_by_rir, routed_space_share_by_rir
 from repro.manrs.actions import Program, action4_threshold
 from repro.registry.rir import RIR
 from repro.rpki.rov import ROVValidator
-from repro.rpki.validator import RelyingParty
+from repro.rpki.validator import IncrementalRelyingParty
 from repro.scenario.world import World
 
 __all__ = [
@@ -64,6 +65,11 @@ class Timeline:
     def __init__(self, world: World):
         self._world = world
         self._rov_cache: dict[int, ROVValidator] = {}
+        # One incremental relying party serves every year: per-ROA
+        # validity windows are precomputed once, and each additional
+        # year-end costs date comparisons only (objects whose windows the
+        # year boundary does not cross keep their verdict for free).
+        self._relying_party = IncrementalRelyingParty(world.rpki_repository)
         config = world.config
         self.years = list(
             range(config.first_year, config.snapshot_date.year + 1)
@@ -78,9 +84,9 @@ class Timeline:
         """ROV validator over the VRPs published by the end of ``year``."""
         validator = self._rov_cache.get(year)
         if validator is None:
-            relying_party = RelyingParty(self._world.rpki_repository)
-            report = relying_party.validate(self._year_end(year))
-            validator = ROVValidator(report.vrps)
+            with perf.stage("timeline.rov_at"), perf.gc_paused():
+                report = self._relying_party.validate(self._year_end(year))
+                validator = ROVValidator(report.vrps)
             self._rov_cache[year] = validator
         return validator
 
@@ -142,18 +148,23 @@ class Timeline:
     def saturation_series(self) -> list[SaturationPoint]:
         """Figure 6: RPKI saturation of member vs non-member space."""
         points = []
-        for year in self.years:
-            members = self._world.manrs.member_asns(as_of=self._year_end(year))
-            manrs_report, other_report = rpki_saturation(
-                self._world.prefix2as, self.rov_at(year), members
-            )
-            points.append(
-                SaturationPoint(
-                    year=year,
-                    manrs_saturation=manrs_report.saturation,
-                    other_saturation=other_report.saturation,
+        # The per-year sweeps churn through large transient prefix lists;
+        # none of it is cyclic, so collection is paused for the batch.
+        with perf.gc_paused():
+            for year in self.years:
+                members = self._world.manrs.member_asns(
+                    as_of=self._year_end(year)
                 )
-            )
+                manrs_report, other_report = rpki_saturation(
+                    self._world.prefix2as, self.rov_at(year), members
+                )
+                points.append(
+                    SaturationPoint(
+                        year=year,
+                        manrs_saturation=manrs_report.saturation,
+                        other_saturation=other_report.saturation,
+                    )
+                )
         return points
 
 
