@@ -10,11 +10,26 @@ SCALE ?= 1.0
 LABEL ?= local
 SMOKE_BUDGET ?= 120
 
-.PHONY: test bench bench-pytest profile smoke-profile
+.PHONY: test lint bench bench-pytest profile smoke-profile trace-smoke
 
 ## Tier-1 test suite (unit + integration + equivalence).
 test:
 	$(PYTHON) -m pytest -x -q
+
+## Static checks (ruff; config in pyproject.toml).  Skips gracefully
+## when ruff is not installed so minimal containers can still run make.
+lint:
+	@if $(PYTHON) -c "import ruff" 2>/dev/null; then \
+		$(PYTHON) -m ruff check src tests; \
+	else \
+		echo "ruff not installed; skipping lint"; \
+	fi
+
+## Observability tripwire: a tiny reproduce run must emit a parseable
+## trace whose span tree covers the build and every registry experiment.
+trace-smoke:
+	$(PYTHON) -m repro reproduce --scale 0.05 --trace-json /tmp/trace-smoke.json > /dev/null
+	$(PYTHON) scripts/check_trace.py /tmp/trace-smoke.json
 
 ## Substrate benchmarks: end-to-end build + timeline, written to
 ## BENCH_$(LABEL).json.  Override JOBS=4 to exercise parallel collection.

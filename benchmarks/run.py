@@ -12,6 +12,13 @@ Usage::
     PYTHONPATH=src python benchmarks/run.py --label pr1            # full scale
     PYTHONPATH=src python benchmarks/run.py --label pr1 --jobs 4
     PYTHONPATH=src python benchmarks/run.py --smoke --budget 60    # CI gate
+    PYTHONPATH=src python benchmarks/run.py --experiments          # + registry
+
+``--experiments`` additionally times every experiment in
+``repro.experiments.REGISTRY`` once on a built world, recording one
+entry per experiment name.  The written payload always embeds the
+observability snapshot (``repro.obs``: flat stage timings plus process
+counters such as cache hit rates and routes propagated).
 
 ``--smoke`` runs one round at ``--scale 0.3`` (unless overridden) and
 exits 1 if the end-to-end mean exceeds ``--budget`` seconds — a cheap
@@ -36,6 +43,8 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from repro import obs  # noqa: E402
+from repro.experiments.registry import REGISTRY  # noqa: E402
 from repro.scenario.build import build_world  # noqa: E402
 from repro.scenario.timeline import Timeline  # noqa: E402
 
@@ -97,6 +106,26 @@ def run_rounds(
     }
 
 
+def run_experiments(
+    scale: float, seed: int, jobs: int | None
+) -> dict[str, dict]:
+    """Time every registry experiment once on one freshly built world.
+
+    Iterates :data:`repro.experiments.registry.REGISTRY` so newly added
+    paper artefacts are benchmarked without touching this file.
+    """
+    world = build_world(scale=scale, seed=seed, jobs=jobs)
+    results: dict[str, dict] = {}
+    for spec in REGISTRY.values():
+        with obs.span(f"bench.experiment.{spec.name}"):
+            start = time.perf_counter()
+            spec.run(world)
+            elapsed = time.perf_counter() - start
+        results[spec.name] = {"seconds": elapsed, "title": spec.title}
+        print(f"experiment {spec.name}: {elapsed:.3f}s", file=sys.stderr)
+    return results
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--label", default="local", help="BENCH_<label>.json")
@@ -108,6 +137,11 @@ def main(argv: list[str] | None = None) -> int:
         type=int,
         default=None,
         help="worker processes for collect_rib (default: REPRO_JOBS env)",
+    )
+    parser.add_argument(
+        "--experiments",
+        action="store_true",
+        help="also time every registry experiment on one built world",
     )
     parser.add_argument(
         "--smoke",
@@ -128,7 +162,13 @@ def main(argv: list[str] | None = None) -> int:
     rounds = 1 if args.smoke else args.rounds
     scale = args.scale if args.scale is not None else (0.3 if args.smoke else 1.0)
 
+    obs.reset()
     benchmarks = run_rounds(scale, args.seed, args.jobs, rounds)
+    experiments = (
+        run_experiments(scale, args.seed, args.jobs)
+        if args.experiments
+        else None
+    )
 
     payload = {
         "label": args.label,
@@ -140,7 +180,12 @@ def main(argv: list[str] | None = None) -> int:
         "python": platform.python_version(),
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "benchmarks": benchmarks,
+        # Spans are omitted: BENCH files track the flat per-stage
+        # timings and process counters, not every round's trace tree.
+        "obs": obs.snapshot(spans=False),
     }
+    if experiments is not None:
+        payload["experiments"] = experiments
     out_path = args.output_dir / f"BENCH_{args.label}.json"
     out_path.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {out_path}", file=sys.stderr)

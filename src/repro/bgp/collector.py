@@ -31,7 +31,7 @@ from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 
-from repro import perf
+from repro import obs
 from repro.bgp.announcement import Announcement, RibEntry
 from repro.bgp.policy import RouteClass
 from repro.bgp.propagation import PropagationEngine
@@ -183,7 +183,11 @@ def collect_rib(
         key=lambda key: (key[0], key[1].rpki_invalid, key[1].irr_invalid),
     )
     vantage_points = tuple(vantage_points)
-    jobs = perf.resolve_jobs(jobs)
+    jobs = obs.resolve_jobs(jobs)
+    obs.add("collect.route_groups", len(keys))
+    obs.gauge("collect.jobs", jobs)
+    obs.gauge("collect.vantage_points", len(vantage_points))
+    obs.annotate(groups=len(keys), jobs=jobs)
     paths_by_key = None
     if jobs > 1 and len(keys) >= MIN_PARALLEL_GROUPS:
         paths_by_key = _parallel_paths(engine, keys, vantage_points, jobs)
@@ -192,6 +196,10 @@ def collect_rib(
             engine.paths_to(origin, vantage_points, route_class)
             for origin, route_class in keys
         ]
+    obs.add(
+        "collect.routes_propagated",
+        sum(len(paths) for paths in paths_by_key),
+    )
     groups = [
         RouteGroup(
             origin=origin,
@@ -244,6 +252,8 @@ def _parallel_paths(
         keys[start : start + chunk_size]
         for start in range(0, len(keys), chunk_size)
     ]
+    obs.add("collect.parallel_chunks", len(chunks))
+    obs.gauge("collect.pool_workers", jobs)
     try:
         with ProcessPoolExecutor(
             max_workers=jobs,

@@ -46,6 +46,7 @@ from dataclasses import dataclass
 from enum import IntEnum
 from typing import Iterable, Mapping
 
+from repro import obs
 from repro.bgp.policy import ASPolicy, RouteClass, covers_session
 from repro.errors import TopologyError
 from repro.topology.model import ASTopology
@@ -424,8 +425,10 @@ class PropagationEngine:
             if cached is not None:
                 cache.move_to_end(key)
                 self._cache_hits += 1
+                obs.add("propagation.cache_hits")
                 return dict(cached)
             self._cache_misses += 1
+            obs.add("propagation.cache_misses")
         if origin not in self._providers:
             raise TopologyError(f"unknown origin AS{origin}")
         filters = self.class_filters(route_class)

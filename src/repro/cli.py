@@ -3,25 +3,31 @@
 Commands::
 
     report     build a world and print the ecosystem report
-    reproduce  print every paper table/figure
+    reproduce  print paper tables/figures (all, or --only fig5,tab2)
     export     write all datasets of a world to a directory
     audit      list unconformant member organisations
     hijack     run one hijack simulation and report capture
     ready      check whether an AS meets the MANRS requirements
 
-All commands accept ``--scale`` and ``--seed``; worlds are deterministic
-per pair.
+All commands accept ``--scale`` and ``--seed`` — before or after the
+subcommand — and worlds are deterministic per pair.  Every command also
+accepts ``--trace-json PATH`` to dump the structured observability
+snapshot (span tree + metrics; see :mod:`repro.obs`) after the run, and
+``report``/``audit``/``ready`` take ``--json`` for machine-readable
+output.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Sequence
 
-from repro import experiments as ex
-from repro.core.report import build_report, render_report
+from repro import obs
+from repro.core.report import build_report, render_report, report_as_dict
 from repro.datasets.store import export_world
+from repro.experiments.registry import select
 from repro.scenario.build import build_world
 
 __all__ = ["main", "build_parser"]
@@ -29,6 +35,24 @@ __all__ = ["main", "build_parser"]
 
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for testing and docs)."""
+    # Shared options are attached twice: on the main parser with real
+    # defaults, and on every subparser with SUPPRESS defaults — so
+    # ``repro report --scale 0.5`` works exactly like ``repro --scale
+    # 0.5 report`` (the subparser only writes the attribute when the
+    # flag actually appears after the subcommand).
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "--scale", type=float, default=argparse.SUPPRESS,
+        help="world size multiplier (1.0 = paper-shaped ~10k ASes)",
+    )
+    common.add_argument(
+        "--seed", type=int, default=argparse.SUPPRESS, help="world seed"
+    )
+    common.add_argument(
+        "--trace-json", metavar="PATH", default=argparse.SUPPRESS,
+        help="write the observability snapshot (spans + metrics) to PATH",
+    )
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduction of 'Mind Your MANRS' (IMC 2022)",
@@ -38,14 +62,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="world size multiplier (1.0 = paper-shaped ~10k ASes)",
     )
     parser.add_argument("--seed", type=int, default=42, help="world seed")
+    parser.add_argument(
+        "--trace-json", metavar="PATH", default=None,
+        help="write the observability snapshot (spans + metrics) to PATH",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("report", help="print the ecosystem report")
-    sub.add_parser("reproduce", help="print every paper table/figure")
-    export = sub.add_parser("export", help="write datasets to a directory")
+    report = sub.add_parser(
+        "report", parents=[common], help="print the ecosystem report"
+    )
+    report.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
+    reproduce = sub.add_parser(
+        "reproduce", parents=[common],
+        help="print paper tables/figures (all by default)",
+    )
+    reproduce.add_argument(
+        "--only", metavar="NAMES", default=None,
+        help="comma-separated experiment names (e.g. fig5,tab2)",
+    )
+    export = sub.add_parser(
+        "export", parents=[common], help="write datasets to a directory"
+    )
     export.add_argument("directory", help="output directory")
-    sub.add_parser("audit", help="list unconformant member organisations")
-    hijack = sub.add_parser("hijack", help="simulate one origin hijack")
+    audit = sub.add_parser(
+        "audit", parents=[common],
+        help="list unconformant member organisations",
+    )
+    audit.add_argument(
+        "--json", action="store_true", help="emit the audit as JSON"
+    )
+    hijack = sub.add_parser(
+        "hijack", parents=[common], help="simulate one origin hijack"
+    )
     hijack.add_argument(
         "--sub-prefix", action="store_true",
         help="announce a more-specific instead of the exact prefix",
@@ -55,53 +105,76 @@ def build_parser() -> argparse.ArgumentParser:
         help="victim has a ROA (hijack becomes RPKI Invalid)",
     )
     ready = sub.add_parser(
-        "ready", help="check whether an AS meets the MANRS requirements"
+        "ready", parents=[common],
+        help="check whether an AS meets the MANRS requirements",
     )
     ready.add_argument("asn", type=int, help="AS number to evaluate")
+    ready.add_argument(
+        "--json", action="store_true", help="emit the readiness check as JSON"
+    )
     return parser
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
-    world = build_world(scale=args.scale, seed=args.seed)
+    try:
+        code = _dispatch(args)
+    finally:
+        if args.trace_json:
+            obs.write_json(args.trace_json)
+    return code
 
-    if args.command == "report":
-        print(render_report(build_report(world)))
-    elif args.command == "reproduce":
-        sections = [
-            ex.fig2_growth.render(ex.fig2_growth.run(world)),
-            ex.fig4_participation.render(ex.fig4_participation.run(world)),
-            ex.f70_completeness.render(ex.f70_completeness.run(world)),
-            ex.fig5_origination.render(ex.fig5_origination.run(world)),
-            ex.f83_action4.render(ex.f83_action4.run(world)),
-            ex.tab1_casestudies.render(ex.tab1_casestudies.run(world)),
-            ex.f87_stability.render(ex.f87_stability.run(world)),
-            ex.fig6_saturation.render(ex.fig6_saturation.run(world)),
-            ex.fig7_filtering.render(ex.fig7_filtering.run(world)),
-            ex.fig8_unconformant.render(ex.fig8_unconformant.run(world)),
-            ex.tab2_action1.render(ex.tab2_action1.run(world)),
-            ex.fig9_preference.render(ex.fig9_preference.run(world)),
-        ]
-        print("\n\n".join(sections))
-    elif args.command == "export":
-        path = export_world(world, args.directory)
-        print(f"datasets written to {path}")
-    elif args.command == "audit":
-        _audit(world)
-    elif args.command == "hijack":
-        _hijack(world, sub_prefix=args.sub_prefix, protected=args.protected)
-    elif args.command == "ready":
-        from repro.core.readiness import check_readiness, render_readiness
 
-        if args.asn not in world.topology:
-            print(f"AS{args.asn} is not in this world", file=sys.stderr)
-            return 1
-        print(render_readiness(check_readiness(world, args.asn)))
+def _dispatch(args: argparse.Namespace) -> int:
+    if args.command == "reproduce":
+        try:
+            specs = select(args.only)
+        except KeyError as error:
+            print(error.args[0], file=sys.stderr)
+            return 2
+    with obs.span(f"cli.{args.command}", scale=args.scale, seed=args.seed):
+        with obs.span("cli.build_world"):
+            world = build_world(scale=args.scale, seed=args.seed)
+
+        if args.command == "report":
+            report = build_report(world)
+            if args.json:
+                print(json.dumps(report_as_dict(report), indent=2))
+            else:
+                print(render_report(report))
+        elif args.command == "reproduce":
+            sections = []
+            for spec in specs:
+                with obs.span(f"experiment.{spec.name}", title=spec.title):
+                    sections.append(spec.render(spec.run(world)))
+            print("\n\n".join(sections))
+        elif args.command == "export":
+            path = export_world(world, args.directory)
+            print(f"datasets written to {path}")
+        elif args.command == "audit":
+            _audit(world, as_json=args.json)
+        elif args.command == "hijack":
+            _hijack(world, sub_prefix=args.sub_prefix, protected=args.protected)
+        elif args.command == "ready":
+            from repro.core.readiness import (
+                check_readiness,
+                readiness_as_dict,
+                render_readiness,
+            )
+
+            if args.asn not in world.topology:
+                print(f"AS{args.asn} is not in this world", file=sys.stderr)
+                return 1
+            readiness = check_readiness(world, args.asn)
+            if args.json:
+                print(json.dumps(readiness_as_dict(readiness), indent=2))
+            else:
+                print(render_readiness(readiness))
     return 0
 
 
-def _audit(world) -> None:
+def _audit(world, as_json: bool = False) -> None:
     from repro.core.conformance import (
         is_action4_conformant,
         origination_stats,
@@ -109,7 +182,7 @@ def _audit(world) -> None:
     from repro.manrs.actions import Program
 
     stats = origination_stats(world.ihr)
-    count = 0
+    rows = []
     for participant in world.manrs.participants:
         if participant.joined > world.snapshot_date:
             continue
@@ -122,13 +195,27 @@ def _audit(world) -> None:
             and not is_action4_conformant(stats[asn], participant.program)
         ]
         if bad:
-            count += 1
             org = world.topology.get_org(participant.org_id)
-            asn_text = ", ".join(
-                f"AS{a} ({stats[a].og_conformant:.0f}%)" for a in bad
+            rows.append(
+                {
+                    "org": org.name,
+                    "program": participant.program.value,
+                    "asns": [
+                        {"asn": a, "og_conformant_pct": stats[a].og_conformant}
+                        for a in bad
+                    ],
+                }
             )
-            print(f"{org.name} [{participant.program.value}]: {asn_text}")
-    print(f"-- {count} organisations unconformant to Action 4")
+    if as_json:
+        print(json.dumps({"unconformant_orgs": rows}, indent=2))
+        return
+    for row in rows:
+        asn_text = ", ".join(
+            f"AS{entry['asn']} ({entry['og_conformant_pct']:.0f}%)"
+            for entry in row["asns"]
+        )
+        print(f"{row['org']} [{row['program']}]: {asn_text}")
+    print(f"-- {len(rows)} organisations unconformant to Action 4")
 
 
 def _hijack(world, sub_prefix: bool, protected: bool) -> None:

@@ -23,7 +23,12 @@ from repro.manrs.actions import Program, action4_threshold
 from repro.manrs.contacts import PeeringDBLike, is_action3_conformant
 from repro.scenario.world import World
 
-__all__ = ["ReadinessReport", "check_readiness", "render_readiness"]
+__all__ = [
+    "ReadinessReport",
+    "check_readiness",
+    "readiness_as_dict",
+    "render_readiness",
+]
 
 
 @dataclass(frozen=True)
@@ -102,6 +107,26 @@ def check_readiness(
         action3_ok=action3_ok,
         blockers=tuple(blockers),
     )
+
+
+def readiness_as_dict(report: ReadinessReport) -> dict:
+    """The readiness check as a JSON-ready document (``ready --json``)."""
+    return {
+        "asn": report.asn,
+        "ready": report.ready,
+        "already_member": report.already_member,
+        "action4": {
+            "ok": report.action4_ok,
+            "origination_pct": report.origination_pct,
+            "unregistered_prefixes": list(report.unregistered_prefixes),
+        },
+        "action1": {
+            "ok": report.action1_ok,
+            "customer_unconformant": report.customer_unconformant,
+        },
+        "action3": {"ok": report.action3_ok},
+        "blockers": list(report.blockers),
+    }
 
 
 def render_readiness(report: ReadinessReport) -> str:

@@ -34,6 +34,7 @@ __all__ = [
     "EcosystemReport",
     "build_report",
     "render_report",
+    "report_as_dict",
 ]
 
 
@@ -168,6 +169,63 @@ def build_report(world: World) -> EcosystemReport:
         irr_coverage_other=cov_n.saturation,
         preference_positive=preference_positive,
     )
+
+
+def report_as_dict(report: EcosystemReport) -> dict:
+    """The report as a JSON-ready document (``report --json``).
+
+    Enum keys become their string values; derived percentages are
+    included alongside the raw counts so consumers need not recompute
+    them.
+    """
+    return {
+        "n_ases": report.n_ases,
+        "n_member_ases": report.n_member_ases,
+        "n_member_orgs": report.n_member_orgs,
+        "completeness": {
+            "total_orgs": report.completeness.total_orgs,
+            "all_asns_registered": report.completeness.all_asns_registered,
+            "all_space_via_registered": (
+                report.completeness.all_space_via_registered
+            ),
+            "partial_announcers": report.completeness.partial_announcers,
+            "only_unregistered_announcers": (
+                report.completeness.only_unregistered_announcers
+            ),
+            "pct_all_asns": report.completeness.pct_all_asns,
+            "pct_all_space": report.completeness.pct_all_space,
+        },
+        "action4": {
+            program.value: {
+                "total_members": summary.total_members,
+                "trivially_conformant": summary.trivially_conformant,
+                "conformant": summary.conformant,
+                "pct_conformant": summary.pct_conformant,
+                "unconformant_asns": list(summary.unconformant_asns),
+            }
+            for program, summary in report.action4.items()
+        },
+        "action1": {
+            size.value: {
+                "transit_total": summary.transit_total,
+                "transit_conformant": summary.transit_conformant,
+                "total_members": summary.total_members,
+                "total_conformant": summary.total_conformant,
+                "pct_transit_conformant": summary.pct_transit_conformant,
+                "pct_total_conformant": summary.pct_total_conformant,
+            }
+            for size, summary in report.action1.items()
+        },
+        "rpki_saturation": {
+            "manrs": report.saturation_manrs,
+            "other": report.saturation_other,
+        },
+        "irr_coverage": {
+            "manrs": report.irr_coverage_manrs,
+            "other": report.irr_coverage_other,
+        },
+        "preference_positive": dict(report.preference_positive),
+    }
 
 
 def render_report(report: EcosystemReport) -> str:

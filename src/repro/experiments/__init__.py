@@ -23,9 +23,13 @@ from repro.experiments.common import (
     population_label,
     world_cache,
 )
+from repro.experiments.registry import REGISTRY, ExperimentSpec, select
 
 __all__ = [
     "POPULATIONS",
+    "REGISTRY",
+    "ExperimentSpec",
+    "select",
     "ablations",
     "counterfactual",
     "ext_other_actions",

@@ -9,6 +9,7 @@ once and times only the analyses.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Callable, TypeVar
 
 from repro.core.stats import CDF, make_cdf
@@ -59,12 +60,29 @@ def group_metric(
     return {key: make_cdf(values) for key, values in samples.items()}
 
 
-_WORLDS: dict[tuple[float, int], World] = {}
+#: Most worlds kept alive at once.  Registry sweeps across several
+#: scales would otherwise pin every world in memory for the whole run;
+#: four comfortably covers the usual small/mid/full working set while
+#: bounding the cache at a few GB even at full scale.
+WORLD_CACHE_SIZE = 4
+
+_WORLDS: OrderedDict[tuple[float, int], World] = OrderedDict()
 
 
 def world_cache(scale: float = 1.0, seed: int = 0) -> World:
-    """Build (once) and return the world for (scale, seed)."""
+    """Build (once) and return the world for (scale, seed).
+
+    The memo is a small LRU (:data:`WORLD_CACHE_SIZE` worlds): repeated
+    lookups refresh an entry's recency, and building past the bound
+    evicts the least recently used world.
+    """
     key = (scale, seed)
-    if key not in _WORLDS:
-        _WORLDS[key] = build_world(scale=scale, seed=seed)
-    return _WORLDS[key]
+    world = _WORLDS.get(key)
+    if world is None:
+        world = build_world(scale=scale, seed=seed)
+        _WORLDS[key] = world
+    else:
+        _WORLDS.move_to_end(key)
+    while len(_WORLDS) > max(1, WORLD_CACHE_SIZE):
+        _WORLDS.popitem(last=False)
+    return world

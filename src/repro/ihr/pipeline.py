@@ -15,7 +15,7 @@ hegemony and learned-from-customer computations.
 
 from __future__ import annotations
 
-from repro import perf
+from repro import obs
 from repro.bgp.collector import RibSnapshot
 from repro.hegemony.scores import DEFAULT_TRIM, hegemony_scores
 from repro.ihr.records import (
@@ -52,7 +52,7 @@ def build_ihr_dataset(
     # frozenset per call, far too slow for millions of path positions.
     customers_of = {asn: topology.customers_of(asn) for asn in topology.asns}
     visible = [group for group in snapshot.groups if group.paths]
-    with perf.stage("ihr.validate"):
+    with obs.span("ihr.validate"):
         routes = [
             (prefix, group.origin)
             for group in visible
@@ -60,7 +60,7 @@ def build_ihr_dataset(
         ]
         rpki_by_route = rov.validate_many(routes)
         irr_by_route = validate_irr_many(irr, routes)
-    with perf.stage("ihr.hegemony"):
+    with obs.span("ihr.hegemony"):
         for group in visible:
             statuses = tuple(
                 (
@@ -105,6 +105,8 @@ def build_ihr_dataset(
                     visibility=visibility,
                 )
             )
+    obs.add("ihr.prefix_origins", len(prefix_origins))
+    obs.add("ihr.transit_groups", len(transit_groups))
     return IHRDataset(prefix_origins=prefix_origins, transit_groups=transit_groups)
 
 

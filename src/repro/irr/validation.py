@@ -25,6 +25,7 @@ from __future__ import annotations
 from enum import Enum
 from typing import Iterable
 
+from repro import obs
 from repro.irr.database import IRRCollection, IRRDatabase
 from repro.irr.objects import RouteObject
 from repro.net.prefix import Prefix
@@ -129,9 +130,15 @@ def validate_irr_many(
         covering = registry.routes_covering_many(
             prefix for prefix, _ in pending
         )
+        tallies: dict[IRRStatus, int] = {}
         for key in pending:
             prefix, origin = key
             status = _classify(covering[prefix], prefix, origin)
             memo[key] = status
             results[key] = status
+            tallies[status] = tallies.get(status, 0) + 1
+        for status, tally in tallies.items():
+            obs.add(f"irr.verdict.{status.value}", tally)
+    obs.add("irr.memo_hits", len(routes) - len(pending))
+    obs.add("irr.memo_misses", len(pending))
     return results

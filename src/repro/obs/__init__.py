@@ -1,0 +1,79 @@
+"""Structured observability: trace spans, metrics, exporters.
+
+The measurement pipeline is instrumented with three primitives:
+
+* :func:`span` — hierarchical wall-clock trace spans with ``key=value``
+  attributes (``with obs.span("build.collect_rib", jobs=4): ...``);
+* :func:`add` / :func:`gauge` — a process-wide metrics registry
+  (counters such as routes propagated, memo hits, ROV verdict tallies;
+  gauges such as pool worker counts);
+* exporters — the human span tree (:func:`render_tree`), a JSON
+  document (:func:`snapshot` / :func:`write_json`, what ``--trace-json``
+  writes), and a flat ``label value`` scrape format
+  (:func:`render_flat`).
+
+Setting ``REPRO_PERF=1`` prints each span to stderr as it closes, in the
+same ``[perf] name: N.NNNs`` format the retired ``repro.perf`` module
+used; :mod:`repro.perf` itself survives as a thin shim over this
+package, so existing callers of ``perf.stage`` / ``perf.timings`` keep
+working unchanged.
+
+Everything here is observation-only: no instrumented call site feeds a
+span or counter value back into the pipeline, so world and timeline
+outputs are byte-identical with or without the hooks.
+"""
+
+from __future__ import annotations
+
+from repro.obs.export import (
+    SCHEMA_VERSION,
+    render_flat,
+    render_tree,
+    snapshot,
+    write_json,
+)
+from repro.obs.metrics import add, counters, gauge, gauges, reset_metrics
+from repro.obs.runtime import JOBS_ENV, gc_paused, resolve_jobs
+from repro.obs.trace import (
+    PERF_ENV,
+    Span,
+    annotate,
+    current_span,
+    enabled,
+    reset_trace,
+    root_spans,
+    span,
+    timings,
+)
+
+__all__ = [
+    "JOBS_ENV",
+    "PERF_ENV",
+    "SCHEMA_VERSION",
+    "Span",
+    "add",
+    "annotate",
+    "counters",
+    "current_span",
+    "enabled",
+    "gauge",
+    "gauges",
+    "gc_paused",
+    "render_flat",
+    "render_tree",
+    "reset",
+    "reset_metrics",
+    "reset_trace",
+    "resolve_jobs",
+    "root_spans",
+    "snapshot",
+    "span",
+    "timings",
+    "write_json",
+]
+
+
+def reset() -> None:
+    """Clear all observability state: spans, timings, counters, gauges."""
+    reset_trace()
+    reset_metrics()

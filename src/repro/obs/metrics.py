@@ -1,0 +1,52 @@
+"""Process-wide metrics registry: monotonic counters and point gauges.
+
+Counters accumulate across the whole process (routes propagated, memo
+hits, ROV verdict tallies); gauges record last-written values (worker
+count, vantage-point count).  Every counter increment is mirrored onto
+the innermost open trace span, so the span tree shows *where* the counts
+came from while the registry keeps the process totals.
+
+The hot-path cost of :func:`add` is two dict updates — cheap enough to
+leave in production code, but still not free: per-item pipeline loops
+should count in bulk (one ``add(name, len(batch))`` per batch), which is
+how the validator and collector call sites use it.
+"""
+
+from __future__ import annotations
+
+from repro.obs import trace
+
+__all__ = ["add", "counters", "gauge", "gauges", "reset_metrics"]
+
+_counters: dict[str, float] = {}
+_gauges: dict[str, float] = {}
+
+
+def add(name: str, value: float = 1) -> None:
+    """Increment a process-wide counter (and the current span's copy)."""
+    _counters[name] = _counters.get(name, 0) + value
+    stack = trace._stack
+    if stack:
+        span_counters = stack[-1].counters
+        span_counters[name] = span_counters.get(name, 0) + value
+
+
+def gauge(name: str, value: float) -> None:
+    """Set a process-wide gauge to its latest observed value."""
+    _gauges[name] = value
+
+
+def counters() -> dict[str, float]:
+    """All counters, insertion-ordered by first increment."""
+    return dict(_counters)
+
+
+def gauges() -> dict[str, float]:
+    """All gauges with their latest values."""
+    return dict(_gauges)
+
+
+def reset_metrics() -> None:
+    """Clear every counter and gauge."""
+    _counters.clear()
+    _gauges.clear()

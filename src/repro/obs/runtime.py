@@ -1,0 +1,76 @@
+"""Runtime knobs that travel with the instrumentation.
+
+Worker-count resolution and the batch GC pause are not observability per
+se, but they are steered by the same environment contract
+(``REPRO_JOBS``, ``REPRO_PERF``) and every instrumented call site needs
+them; hosting them here keeps :mod:`repro.perf` a pure re-export shim.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = ["JOBS_ENV", "gc_paused", "resolve_jobs"]
+
+JOBS_ENV = "REPRO_JOBS"
+
+
+def resolve_jobs(jobs: int | None = None) -> int:
+    """Number of worker processes to use.
+
+    An explicit ``jobs`` argument wins; otherwise ``REPRO_JOBS`` is
+    consulted.  ``0`` (either way) means "all cores"; anything else is
+    clamped to at least 1.  The default with no argument and no env var
+    is 1 (serial), which keeps single-shot builds free of process-pool
+    overhead and bit-reproducible under the simplest configuration.
+    """
+    if jobs is None:
+        raw = os.environ.get(JOBS_ENV, "").strip()
+        if not raw:
+            return 1
+        try:
+            jobs = int(raw)
+        except ValueError:
+            return 1
+    if jobs <= 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+@contextmanager
+def gc_paused(freeze: bool = False) -> Iterator[None]:
+    """Suspend the cyclic garbage collector for a batch construction.
+
+    The world builders allocate millions of long-lived, acyclic objects
+    (radix nodes, routes, path tuples); every generation-0 collection
+    triggered mid-build re-scans that growing graph for cycles it cannot
+    contain, which at full scale costs more than the allocations
+    themselves.  Pausing collection around the batch and restoring it on
+    exit (collection state is re-enabled even on exceptions) removes that
+    overhead without changing any result.  Nested pauses are free: only
+    the outermost one toggles the collector.
+
+    With ``freeze=True`` the batch's survivors are moved to the
+    permanent generation on success (``gc.freeze()``, a constant-time
+    list splice).  Without it, the first full collections after a large
+    paused batch re-scan the whole surviving graph looking for cycles a
+    builder never creates — measured here at ~0.8s per scan at full
+    scale, recurring until the collector's long-lived quota catches up.
+    Frozen objects are simply exempt from future scans; they are still
+    freed by reference counting as usual.  Only pass ``freeze=True``
+    from top-level builders whose output lives for the rest of the
+    process (anything else alive at that moment is frozen too).
+    """
+    was_enabled = gc.isenabled()
+    if was_enabled:
+        gc.disable()
+    try:
+        yield
+        if freeze and was_enabled:
+            gc.freeze()
+    finally:
+        if was_enabled:
+            gc.enable()

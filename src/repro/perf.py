@@ -1,27 +1,33 @@
-"""Opt-in performance instrumentation and worker-count resolution.
+"""Back-compat shim over :mod:`repro.obs`.
 
-Two environment knobs steer the fast paths introduced for full-scale
-world builds:
+``repro.perf`` was the original flat instrumentation layer (one
+``perf_counter`` pair per stage plus a name→seconds dict).  The
+structured observability package subsumed it: spans nest, carry counters
+and attributes, and export to JSON — see :mod:`repro.obs`.  Every public
+name this module ever had keeps working:
 
-* ``REPRO_PERF=1`` — print a per-stage wall-clock breakdown to stderr as
-  the pipeline runs (stages are always *recorded*; the env var only
-  controls printing, so tooling can read :func:`timings` without noise).
-* ``REPRO_JOBS=N`` — worker processes for parallel route collection.
-  Unset or ``1`` means serial; ``0`` means one worker per CPU core.
+* :func:`stage` is :func:`repro.obs.span` (same ``REPRO_PERF=1`` stderr
+  lines, same nesting/indentation);
+* :func:`timings` / :func:`reset` read and clear the flat per-name
+  aggregate the obs layer still maintains;
+* :func:`resolve_jobs`, :func:`gc_paused`, :func:`enabled` and the env
+  var names are straight re-exports.
 
-The instrumentation is deliberately lightweight: a stage is one
-``perf_counter`` pair plus a dict update, so leaving the hooks in the
-production path costs nothing measurable.
+New code should import :mod:`repro.obs` directly.
 """
 
 from __future__ import annotations
 
-import gc
-import os
-import sys
-import time
-from contextlib import contextmanager
-from typing import Iterator
+from repro.obs import (
+    JOBS_ENV,
+    PERF_ENV,
+    enabled,
+    gc_paused,
+    reset_trace,
+    resolve_jobs,
+    span,
+    timings,
+)
 
 __all__ = [
     "PERF_ENV",
@@ -34,106 +40,11 @@ __all__ = [
     "reset",
 ]
 
-PERF_ENV = "REPRO_PERF"
-JOBS_ENV = "REPRO_JOBS"
+#: Alias: a perf "stage" is an obs span (attributes allowed but unused
+#: by legacy call sites).
+stage = span
 
-#: Accumulated seconds per stage name (insertion-ordered).
-_timings: dict[str, float] = {}
-#: Current nesting depth, for indented printing.
-_depth = 0
-
-
-def enabled() -> bool:
-    """True when ``REPRO_PERF`` asks for a printed breakdown."""
-    return os.environ.get(PERF_ENV, "") not in ("", "0")
-
-
-def resolve_jobs(jobs: int | None = None) -> int:
-    """Number of worker processes to use.
-
-    An explicit ``jobs`` argument wins; otherwise ``REPRO_JOBS`` is
-    consulted.  ``0`` (either way) means "all cores"; anything else is
-    clamped to at least 1.  The default with no argument and no env var
-    is 1 (serial), which keeps single-shot builds free of process-pool
-    overhead and bit-reproducible under the simplest configuration.
-    """
-    if jobs is None:
-        raw = os.environ.get(JOBS_ENV, "").strip()
-        if not raw:
-            return 1
-        try:
-            jobs = int(raw)
-        except ValueError:
-            return 1
-    if jobs <= 0:
-        return os.cpu_count() or 1
-    return jobs
-
-
-@contextmanager
-def stage(name: str) -> Iterator[None]:
-    """Time a pipeline stage.
-
-    Nested stages are recorded independently and printed indented.
-    Seconds accumulate across repeated runs of the same stage name
-    (e.g. per-year relying-party validation in a timeline sweep).
-    """
-    global _depth
-    depth = _depth
-    _depth += 1
-    start = time.perf_counter()
-    try:
-        yield
-    finally:
-        _depth = depth
-        elapsed = time.perf_counter() - start
-        _timings[name] = _timings.get(name, 0.0) + elapsed
-        if enabled():
-            indent = "  " * depth
-            print(f"[perf] {indent}{name}: {elapsed:.3f}s", file=sys.stderr)
-
-
-@contextmanager
-def gc_paused(freeze: bool = False) -> Iterator[None]:
-    """Suspend the cyclic garbage collector for a batch construction.
-
-    The world builders allocate millions of long-lived, acyclic objects
-    (radix nodes, routes, path tuples); every generation-0 collection
-    triggered mid-build re-scans that growing graph for cycles it cannot
-    contain, which at full scale costs more than the allocations
-    themselves.  Pausing collection around the batch and restoring it on
-    exit (collection state is re-enabled even on exceptions) removes that
-    overhead without changing any result.  Nested pauses are free: only
-    the outermost one toggles the collector.
-
-    With ``freeze=True`` the batch's survivors are moved to the
-    permanent generation on success (``gc.freeze()``, a constant-time
-    list splice).  Without it, the first full collections after a large
-    paused batch re-scan the whole surviving graph looking for cycles a
-    builder never creates — measured here at ~0.8s per scan at full
-    scale, recurring until the collector's long-lived quota catches up.
-    Frozen objects are simply exempt from future scans; they are still
-    freed by reference counting as usual.  Only pass ``freeze=True``
-    from top-level builders whose output lives for the rest of the
-    process (anything else alive at that moment is frozen too).
-    """
-    was_enabled = gc.isenabled()
-    if was_enabled:
-        gc.disable()
-    try:
-        yield
-        if freeze and was_enabled:
-            gc.freeze()
-    finally:
-        if was_enabled:
-            gc.enable()
-
-
-def timings() -> dict[str, float]:
-    """Accumulated seconds per stage since the last :func:`reset`."""
-    return dict(_timings)
-
-
-def reset() -> None:
-    """Clear accumulated stage timings."""
-    _timings.clear()
+#: Alias: legacy reset cleared stage timings; spans and the aggregate
+#: clear together (process metrics are left alone — the old module had
+#: none).
+reset = reset_trace

@@ -19,7 +19,7 @@ from __future__ import annotations
 from enum import Enum
 from typing import Iterable
 
-from repro import perf
+from repro import obs
 from repro.net.prefix import Prefix
 from repro.net.radix import RadixTree
 from repro.rpki.roa import VRP
@@ -70,11 +70,13 @@ class ROVValidator:
         # validator per year inside an already-large process, where every
         # few hundred node allocations would otherwise trigger a full
         # generation-0 scan of the world graph.
-        with perf.gc_paused():
+        with obs.gc_paused():
             for vrp in vrps:
                 self._tree.insert(vrp.prefix, vrp)
                 count += 1
         self._count = count
+        obs.add("rov.validators_built")
+        obs.add("rov.vrps_loaded", count)
         self._memo: dict[tuple[Prefix, int], RPKIStatus] = {}
         self._covered_memo: dict[Prefix, bool] = {}
 
@@ -119,11 +121,17 @@ class ROVValidator:
                 results[key] = status
         if pending:
             covering = self._tree.covering_many(prefix for prefix, _ in pending)
+            tallies: dict[RPKIStatus, int] = {}
             for key in pending:
                 prefix, origin = key
                 status = _classify(covering[prefix], prefix, origin)
                 self._memo[key] = status
                 results[key] = status
+                tallies[status] = tallies.get(status, 0) + 1
+            for status, tally in tallies.items():
+                obs.add(f"rov.verdict.{status.value}", tally)
+        obs.add("rov.memo_hits", len(routes) - len(pending))
+        obs.add("rov.memo_misses", len(pending))
         return results
 
     def covered_space(self, prefixes: Iterable[Prefix]) -> list[Prefix]:

@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from datetime import date
 
+from repro import obs
 from repro.errors import RPKIError
 from repro.rpki.ca import RPKIRepository, ResourceCertificate
 from repro.rpki.roa import ROA, VRP
@@ -77,6 +78,9 @@ class RelyingParty:
                     trust_anchor=certificate.trust_anchor,
                 )
             )
+        obs.add("rpki.rp_runs")
+        obs.add("rpki.vrps_emitted", len(report.vrps))
+        obs.add("rpki.roas_rejected", report.rejected_total)
         return report
 
     def _chain_valid(
@@ -184,6 +188,9 @@ class IncrementalRelyingParty:
                 report._reject("bad_certificate_chain")
                 continue
             vrps.append(plan.vrp)
+        obs.add("rpki.rp_runs")
+        obs.add("rpki.vrps_emitted", len(vrps))
+        obs.add("rpki.roas_rejected", report.rejected_total)
         return report
 
     def _build_plans(self) -> list[_RoaPlan]:

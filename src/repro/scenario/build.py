@@ -21,7 +21,7 @@ from datetime import date, timedelta
 
 import numpy as np
 
-from repro import perf
+from repro import obs
 from repro.bgp.announcement import Announcement
 from repro.bgp.collector import collect_rib, select_vantage_points
 from repro.bgp.policy import ASPolicy, RouteClass
@@ -72,7 +72,7 @@ def build_world(
     (``None`` defers to the ``REPRO_JOBS`` environment variable; the
     result is identical at any worker count).
     """
-    with perf.gc_paused(freeze=True):
+    with obs.gc_paused(freeze=True):
         return _build_world(
             scale, seed, config, topology_config, recruitment_config, jobs
         )
@@ -90,12 +90,14 @@ def _build_world(
     topology_config = (topology_config or TopologyConfig()).scaled(scale)
     rng = np.random.default_rng(seed)
 
-    with perf.stage("build.topology"):
+    with obs.span("build.topology", scale=scale, seed=seed):
         generated = generate_topology(topology_config, seed=seed)
         topology = generated.topology
         manrs = recruit(topology, recruitment_config, seed=seed + 1)
         as2org = As2Org.from_topology(topology)
         size_of = classify_all(topology)
+        obs.add("build.ases", len(topology.asns))
+        obs.add("build.participants", len(manrs.participants))
 
     ctx = _BuildContext(
         config=config,
@@ -105,16 +107,26 @@ def _build_world(
         manrs=manrs,
         size_of=size_of,
     )
-    with perf.stage("build.behaviors"):
+    with obs.span("build.behaviors"):
         ctx.pick_special_orgs()
         ctx.sample_behaviors()
         ctx.assign_rov_by_rank()
-    with perf.stage("build.originations"):
+        obs.add(
+            "build.rov_deployers",
+            sum(1 for b in ctx.behaviors.values() if b.rov),
+        )
+    with obs.span("build.originations"):
         ctx.allocate_originations()
-    with perf.stage("build.rpki"):
+        obs.add(
+            "build.originations",
+            sum(len(o) for o in ctx.originations.values()),
+        )
+    with obs.span("build.rpki"):
         ctx.populate_rpki()
-    with perf.stage("build.irr"):
+        obs.add("build.roas", len(ctx.rpki_repository.roas))
+    with obs.span("build.irr"):
         ctx.populate_irr()
+        obs.add("build.irr_routes", ctx.irr.route_count)
 
     policies = {
         asn: ASPolicy(
@@ -128,11 +140,11 @@ def _build_world(
         )
         for asn, behavior in ctx.behaviors.items()
     }
-    with perf.stage("build.relying_party"):
+    with obs.span("build.relying_party"):
         relying_party = RelyingParty(ctx.rpki_repository)
         rov = ROVValidator(relying_party.validate(config.snapshot_date).vrps)
 
-    with perf.stage("build.classify"):
+    with obs.span("build.classify"):
         routes = [
             (origination.prefix, asn)
             for asn in sorted(ctx.originations)
@@ -153,6 +165,15 @@ def _build_world(
             )
             for prefix, asn in routes
         ]
+        obs.add("build.routes_classified", len(routes))
+        obs.add(
+            "build.routes_rpki_invalid",
+            sum(1 for _, rc in announcements if rc.rpki_invalid),
+        )
+        obs.add(
+            "build.routes_irr_invalid",
+            sum(1 for _, rc in announcements if rc.irr_invalid),
+        )
 
     engine = PropagationEngine(topology, policies)
     vantage_points = select_vantage_points(
@@ -161,10 +182,10 @@ def _build_world(
         n_small=config.n_small_vantage_points,
         seed=seed + 2,
     )
-    with perf.stage("build.collect_rib"):
+    with obs.span("build.collect_rib"):
         rib = collect_rib(engine, announcements, vantage_points, jobs=jobs)
     prefix2as = Prefix2AS.from_rib(rib)
-    with perf.stage("build.ihr"):
+    with obs.span("build.ihr"):
         ihr = build_ihr_dataset(rib, rov, ctx.irr, topology)
 
     return World(

@@ -20,7 +20,7 @@ from datetime import date, timedelta
 
 import numpy as np
 
-from repro import perf
+from repro import obs
 from repro.core.conformance import origination_stats
 from repro.core.impact import rpki_saturation
 from repro.core.participation import members_by_rir, routed_space_share_by_rir
@@ -84,10 +84,13 @@ class Timeline:
         """ROV validator over the VRPs published by the end of ``year``."""
         validator = self._rov_cache.get(year)
         if validator is None:
-            with perf.stage("timeline.rov_at"), perf.gc_paused():
+            with obs.span("timeline.rov_at", year=year), obs.gc_paused():
                 report = self._relying_party.validate(self._year_end(year))
                 validator = ROVValidator(report.vrps)
+            obs.add("timeline.rov_years_validated")
             self._rov_cache[year] = validator
+        else:
+            obs.add("timeline.rov_cache_hits")
         return validator
 
     def to_archive(self) -> "VRPArchive":
@@ -150,7 +153,7 @@ class Timeline:
         points = []
         # The per-year sweeps churn through large transient prefix lists;
         # none of it is cyclic, so collection is paused for the batch.
-        with perf.gc_paused():
+        with obs.span("timeline.saturation_series"), obs.gc_paused():
             for year in self.years:
                 members = self._world.manrs.member_asns(
                     as_of=self._year_end(year)

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -17,6 +19,21 @@ class TestParser:
         assert args.scale == 0.2
         assert args.seed == 42
         assert args.command == "report"
+
+    def test_common_flags_after_subcommand(self):
+        args = build_parser().parse_args(["report", "--scale", "0.1", "--seed", "7"])
+        assert args.scale == 0.1
+        assert args.seed == 7
+
+    def test_common_flags_before_subcommand_still_work(self):
+        args = build_parser().parse_args(["--scale", "0.1", "report"])
+        assert args.scale == 0.1
+        assert args.seed == 42
+
+    def test_subcommand_position_wins_over_default(self):
+        args = build_parser().parse_args(["reproduce", "--trace-json", "t.json"])
+        assert args.trace_json == "t.json"
+        assert args.scale == 0.2
 
     def test_hijack_flags(self):
         args = build_parser().parse_args(
@@ -62,6 +79,17 @@ class TestCommands:
             assert marker in out
 
 
+    def test_reproduce_only_filters(self, capsys):
+        assert main(self.ARGS + ["reproduce", "--only", "fig5,tab2"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 5" in out and "Table 2" in out
+        assert "Figure 2" not in out
+
+    def test_reproduce_only_unknown_name(self, capsys):
+        assert main(self.ARGS + ["reproduce", "--only", "fig99"]) == 2
+        err = capsys.readouterr().err
+        assert "fig99" in err
+
     def test_ready_known_as(self, capsys):
         assert main(self.ARGS + ["ready", "100"]) == 0
         out = capsys.readouterr().out
@@ -69,3 +97,52 @@ class TestCommands:
 
     def test_ready_unknown_as(self, capsys):
         assert main(self.ARGS + ["ready", "999999"]) == 1
+
+
+class TestJsonOutput:
+    ARGS = ["--scale", "0.06", "--seed", "3"]
+
+    def test_report_json(self, capsys):
+        assert main(self.ARGS + ["report", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "completeness" in payload and "action4" in payload
+
+    def test_audit_json(self, capsys):
+        assert main(self.ARGS + ["audit", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert isinstance(payload["unconformant_orgs"], list)
+
+    def test_ready_json(self, capsys):
+        assert main(self.ARGS + ["ready", "100", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["asn"] == 100
+        assert set(payload) >= {"ready", "action4", "action1", "blockers"}
+
+
+class TestTraceJson:
+    def test_trace_covers_build_and_experiments(self, capsys, tmp_path):
+        trace = tmp_path / "trace.json"
+        args = [
+            "reproduce",
+            "--scale", "0.06",
+            "--seed", "3",
+            "--only", "fig5,tab2",
+            "--trace-json", str(trace),
+        ]
+        assert main(args) == 0
+        document = json.loads(trace.read_text())
+        assert document["schema_version"] == 1
+
+        def names(nodes):
+            out = set()
+            for node in nodes:
+                out.add(node["name"])
+                out |= names(node.get("children", ()))
+            return out
+
+        seen = names(document["spans"])
+        assert {"cli.reproduce", "cli.build_world", "build.topology"} <= seen
+        assert {"experiment.fig5", "experiment.tab2"} <= seen
+        counters = document["metrics"]["counters"]
+        assert counters["collect.routes_propagated"] > 0
+        assert "propagation.cache_hits" in counters

@@ -1,0 +1,140 @@
+"""Tests for the experiment registry (repro.experiments.registry).
+
+Pins the registry's public contract: stable names in paper order, every
+spec runnable end-to-end at a small scale, `select` filtering semantics,
+and the bounded LRU behaviour of `world_cache`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import pytest
+
+from repro.experiments import REGISTRY, ExperimentSpec, select
+from repro.experiments import common
+
+#: The registry's names, in the paper's presentation order.  A new
+#: experiment extends this list; renaming or reordering an existing one
+#: is a breaking change for CLI users and BENCH history.
+EXPECTED_NAMES = [
+    "fig2",
+    "fig4",
+    "f70",
+    "fig5",
+    "f83",
+    "tab1",
+    "f87",
+    "fig6",
+    "fig7",
+    "fig8",
+    "tab2",
+    "fig9",
+]
+
+
+class TestRegistryShape:
+    def test_names_stable_and_ordered(self):
+        assert list(REGISTRY) == EXPECTED_NAMES
+
+    def test_names_unique(self):
+        assert len(set(REGISTRY)) == len(REGISTRY)
+
+    def test_specs_are_complete(self):
+        for name, spec in REGISTRY.items():
+            assert isinstance(spec, ExperimentSpec)
+            assert spec.name == name
+            assert spec.title and spec.paper_ref
+            assert callable(spec.run) and callable(spec.render)
+
+    def test_registry_is_read_only(self):
+        with pytest.raises(TypeError):
+            REGISTRY["bogus"] = None  # type: ignore[index]
+
+    def test_titles_unique(self):
+        titles = [spec.title for spec in REGISTRY.values()]
+        assert len(set(titles)) == len(titles)
+
+
+class TestSelect:
+    def test_none_selects_everything_in_order(self):
+        assert [s.name for s in select(None)] == EXPECTED_NAMES
+
+    def test_csv_string(self):
+        assert [s.name for s in select("fig5,tab2")] == ["fig5", "tab2"]
+
+    def test_order_follows_registry_not_input(self):
+        assert [s.name for s in select("tab2,fig5")] == ["fig5", "tab2"]
+
+    def test_iterable_input(self):
+        assert [s.name for s in select(["fig9", "fig2"])] == ["fig2", "fig9"]
+
+    def test_whitespace_and_empty_parts_ignored(self):
+        assert [s.name for s in select(" fig5 , ,tab2 ")] == ["fig5", "tab2"]
+
+    def test_empty_string_selects_everything(self):
+        assert [s.name for s in select("")] == EXPECTED_NAMES
+
+    def test_unknown_name_raises_with_choices(self):
+        with pytest.raises(KeyError, match="fig99"):
+            select("fig5,fig99")
+
+
+class TestEverySpecRuns:
+    """Every registry entry must run end-to-end on a small world."""
+
+    @pytest.fixture(scope="class")
+    def world(self):
+        return common.world_cache(scale=0.05, seed=42)
+
+    @pytest.mark.parametrize("name", EXPECTED_NAMES)
+    def test_run_and_render(self, world, name):
+        spec = REGISTRY[name]
+        result = spec.run(world)
+        assert result is not None
+        text = spec.render(result)
+        assert isinstance(text, str) and text.strip()
+
+
+class TestWorldCacheLRU:
+    @pytest.fixture()
+    def fake_builds(self, monkeypatch):
+        """Replace build_world with a counter and start from an empty memo."""
+        built: list[tuple[float, int]] = []
+
+        def fake_build_world(scale, seed):
+            built.append((scale, seed))
+            return object()
+
+        monkeypatch.setattr(common, "build_world", fake_build_world)
+        monkeypatch.setattr(common, "_WORLDS", OrderedDict())
+        return built
+
+    def test_repeat_lookup_is_memoised(self, fake_builds):
+        first = common.world_cache(0.1, 1)
+        second = common.world_cache(0.1, 1)
+        assert first is second
+        assert fake_builds == [(0.1, 1)]
+
+    def test_bound_evicts_least_recently_used(self, fake_builds, monkeypatch):
+        monkeypatch.setattr(common, "WORLD_CACHE_SIZE", 2)
+        common.world_cache(0.1, 1)
+        common.world_cache(0.2, 1)
+        common.world_cache(0.1, 1)  # refresh (0.1, 1): now (0.2, 1) is LRU
+        common.world_cache(0.3, 1)  # evicts (0.2, 1)
+        assert list(common._WORLDS) == [(0.1, 1), (0.3, 1)]
+        common.world_cache(0.2, 1)  # rebuild after eviction
+        assert fake_builds.count((0.2, 1)) == 2
+        assert fake_builds.count((0.1, 1)) == 1
+
+    def test_cache_never_exceeds_bound(self, fake_builds, monkeypatch):
+        monkeypatch.setattr(common, "WORLD_CACHE_SIZE", 3)
+        for seed in range(10):
+            common.world_cache(0.1, seed)
+            assert len(common._WORLDS) <= 3
+
+    def test_bound_of_zero_still_keeps_one(self, fake_builds, monkeypatch):
+        monkeypatch.setattr(common, "WORLD_CACHE_SIZE", 0)
+        common.world_cache(0.1, 1)
+        common.world_cache(0.1, 2)
+        assert len(common._WORLDS) == 1
