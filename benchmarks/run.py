@@ -24,6 +24,11 @@ counters such as cache hit rates and routes propagated).
 exits 1 if the end-to-end mean exceeds ``--budget`` seconds — a cheap
 regression tripwire for CI.
 
+Unless ``--no-warm-start`` is passed, the run also measures the
+checkpoint store (``repro.datasets.checkpoint``): one cold build vs one
+warm load from a freshly saved entry, recorded under ``warm_start`` with
+the speedup and a cold/warm digest-equality check.
+
 The paper-analysis benchmarks live in the pytest-benchmark suite
 (``pytest benchmarks/ --benchmark-only``); this script covers the
 substrate underneath them.
@@ -47,6 +52,50 @@ from repro import obs  # noqa: E402
 from repro.experiments.registry import REGISTRY  # noqa: E402
 from repro.scenario.build import build_world  # noqa: E402
 from repro.scenario.timeline import Timeline  # noqa: E402
+
+
+def run_warm_start(scale: float, seed: int, jobs: int | None) -> dict:
+    """Cold-build vs checkpoint-load timings for one world.
+
+    Builds cold, saves a checkpoint into a temporary store, loads it
+    back, and reports both wall times plus the speedup and whether the
+    warm world is digest-identical to the cold one (it must be — the
+    digests are part of the payload so a regression is visible in the
+    BENCH trajectory, not just in the test suite).
+    """
+    import tempfile
+
+    from repro.datasets.checkpoint import CheckpointStore, world_digest
+    from repro.scenario.config import ScenarioConfig
+
+    start = time.perf_counter()
+    world = build_world(scale=scale, seed=seed, jobs=jobs)
+    cold = time.perf_counter() - start
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as tmp:
+        store = CheckpointStore(tmp)
+        start = time.perf_counter()
+        store.save(world)
+        save = time.perf_counter() - start
+        start = time.perf_counter()
+        warm_world = store.load(ScenarioConfig(), scale, seed)
+        warm = time.perf_counter() - start
+    digest_equal = (
+        warm_world is not None
+        and world_digest(warm_world) == world_digest(world)
+    )
+    print(
+        f"warm start: cold={cold:.3f}s save={save:.3f}s warm={warm:.3f}s "
+        f"speedup={cold / warm:.2f}x digest_equal={digest_equal}",
+        file=sys.stderr,
+    )
+    return {
+        "cold_build_seconds": cold,
+        "save_seconds": save,
+        "warm_load_seconds": warm,
+        "speedup": cold / warm,
+        "digest_equal": digest_equal,
+    }
 
 
 def git_rev() -> str:
@@ -155,6 +204,11 @@ def main(argv: list[str] | None = None) -> int:
         help="smoke-mode time budget in seconds (generous by design)",
     )
     parser.add_argument(
+        "--no-warm-start",
+        action="store_true",
+        help="skip the checkpoint cold-vs-warm comparison",
+    )
+    parser.add_argument(
         "--output-dir", type=Path, default=REPO_ROOT, help="where to write JSON"
     )
     args = parser.parse_args(argv)
@@ -164,6 +218,9 @@ def main(argv: list[str] | None = None) -> int:
 
     obs.reset()
     benchmarks = run_rounds(scale, args.seed, args.jobs, rounds)
+    warm_start = None if args.no_warm_start else run_warm_start(
+        scale, args.seed, args.jobs
+    )
     experiments = (
         run_experiments(scale, args.seed, args.jobs)
         if args.experiments
@@ -184,6 +241,8 @@ def main(argv: list[str] | None = None) -> int:
         # timings and process counters, not every round's trace tree.
         "obs": obs.snapshot(spans=False),
     }
+    if warm_start is not None:
+        payload["warm_start"] = warm_start
     if experiments is not None:
         payload["experiments"] = experiments
     out_path = args.output_dir / f"BENCH_{args.label}.json"

@@ -22,37 +22,54 @@ __all__ = [
 
 
 class Prefix2AS:
-    """An immutable prefix → origin-AS mapping snapshot."""
+    """An immutable prefix → origin-AS mapping snapshot.
+
+    Built from a RIB the mapping is *lazy*: :meth:`from_rib` only keeps
+    a reference to the snapshot and the prefix → origins dict
+    materialises on first use.  Both world builds and checkpoint
+    restores construct a Prefix2AS unconditionally, while many callers
+    (unit experiments, cache warms) never query it.
+    """
 
     def __init__(self, origins: dict[Prefix, frozenset[int]]):
-        self._origins = dict(origins)
+        self._origins: dict[Prefix, frozenset[int]] | None = dict(origins)
+        self._rib: RibSnapshot | None = None
         self._by_origin: dict[int, list[Prefix]] | None = None
         self._origin_asns: list[int] | None = None
 
     @classmethod
     def from_rib(cls, snapshot: RibSnapshot) -> "Prefix2AS":
         """Build the mapping from everything visible at the collectors."""
-        origins: dict[Prefix, set[int]] = {}
-        for group in snapshot.groups:
-            if not group.paths:
-                continue
-            for prefix in group.prefixes:
-                origins.setdefault(prefix, set()).add(group.origin)
-        return cls({p: frozenset(o) for p, o in origins.items()})
+        mapping = cls({})
+        mapping._origins = None
+        mapping._rib = snapshot
+        return mapping
+
+    def _origin_map(self) -> dict[Prefix, frozenset[int]]:
+        if self._origins is None:
+            origins: dict[Prefix, set[int]] = {}
+            for group in self._rib.groups:
+                if not group.paths:
+                    continue
+                for prefix in group.prefixes:
+                    origins.setdefault(prefix, set()).add(group.origin)
+            self._origins = {p: frozenset(o) for p, o in origins.items()}
+            self._rib = None
+        return self._origins
 
     def origins_of(self, prefix: Prefix) -> frozenset[int]:
         """Observed origin ASes for ``prefix`` (empty if unrouted)."""
-        return self._origins.get(prefix, frozenset())
+        return self._origin_map().get(prefix, frozenset())
 
     @property
     def prefixes(self) -> list[Prefix]:
         """All routed prefixes in address order."""
-        return sorted(self._origins)
+        return sorted(self._origin_map())
 
     def _origin_index(self) -> dict[int, list[Prefix]]:
         if self._by_origin is None:
             index: dict[int, list[Prefix]] = {}
-            for prefix, origins in self._origins.items():
+            for prefix, origins in self._origin_map().items():
                 for origin in origins:
                     index.setdefault(origin, []).append(prefix)
             # Sort once at index build: the saturation sweeps query
@@ -89,11 +106,11 @@ class Prefix2AS:
     def total_address_space(self) -> int:
         """Distinct IPv4 addresses in the whole table."""
         return aggregate_address_count(
-            prefix for prefix in self._origins if prefix.version == 4
+            prefix for prefix in self._origin_map() if prefix.version == 4
         )
 
     def __len__(self) -> int:
-        return len(self._origins)
+        return len(self._origin_map())
 
 
 def serialize_prefix2as(mapping: Prefix2AS) -> str:

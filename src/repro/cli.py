@@ -8,6 +8,7 @@ Commands::
     audit      list unconformant member organisations
     hijack     run one hijack simulation and report capture
     ready      check whether an AS meets the MANRS requirements
+    cache      manage the checkpoint store (list, verify, prune, warm)
 
 All commands accept ``--scale`` and ``--seed`` — before or after the
 subcommand — and worlds are deterministic per pair.  Every command also
@@ -15,6 +16,13 @@ accepts ``--trace-json PATH`` to dump the structured observability
 snapshot (span tree + metrics; see :mod:`repro.obs`) after the run, and
 ``report``/``audit``/``ready`` take ``--json`` for machine-readable
 output.
+
+``--cache-dir PATH`` (or the ``REPRO_CACHE_DIR`` environment variable)
+enables the content-addressed checkpoint store: world-building commands
+warm-start from a stored entry when one exists for (config, scale,
+seed), and save a cold build back for the next run.  Corrupt or stale
+entries are discarded with a warning and rebuilt — using the cache never
+changes results, only build time.
 """
 
 from __future__ import annotations
@@ -26,9 +34,11 @@ from typing import Sequence
 
 from repro import obs
 from repro.core.report import build_report, render_report, report_as_dict
+from repro.datasets.checkpoint import CheckpointStore, default_store
 from repro.datasets.store import export_world
 from repro.experiments.registry import select
 from repro.scenario.build import build_world
+from repro.scenario.config import ScenarioConfig
 
 __all__ = ["main", "build_parser"]
 
@@ -52,6 +62,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-json", metavar="PATH", default=argparse.SUPPRESS,
         help="write the observability snapshot (spans + metrics) to PATH",
     )
+    common.add_argument(
+        "--cache-dir", metavar="PATH", default=argparse.SUPPRESS,
+        help="checkpoint store directory (default: $REPRO_CACHE_DIR)",
+    )
 
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -65,6 +79,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--trace-json", metavar="PATH", default=None,
         help="write the observability snapshot (spans + metrics) to PATH",
+    )
+    parser.add_argument(
+        "--cache-dir", metavar="PATH", default=None,
+        help="checkpoint store directory (default: $REPRO_CACHE_DIR)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -112,6 +130,32 @@ def build_parser() -> argparse.ArgumentParser:
     ready.add_argument(
         "--json", action="store_true", help="emit the readiness check as JSON"
     )
+    cache = sub.add_parser(
+        "cache", parents=[common], help="manage the checkpoint store"
+    )
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    cache_sub.add_parser(
+        "list", parents=[common], help="list stored checkpoint entries"
+    )
+    cache_sub.add_parser(
+        "verify", parents=[common],
+        help="re-hash every entry and report problems",
+    )
+    prune = cache_sub.add_parser(
+        "prune", parents=[common], help="delete stored entries"
+    )
+    prune.add_argument(
+        "--keep", type=int, default=0, metavar="N",
+        help="keep the N most recently created entries (default: none)",
+    )
+    warm = cache_sub.add_parser(
+        "warm", parents=[common],
+        help="build (or load) the world for --scale/--seed and store it",
+    )
+    warm.add_argument(
+        "--years", action="store_true",
+        help="also checkpoint the per-year timeline VRP snapshots",
+    )
     return parser
 
 
@@ -126,7 +170,30 @@ def main(argv: Sequence[str] | None = None) -> int:
     return code
 
 
+def _store_from(args: argparse.Namespace) -> CheckpointStore | None:
+    """The checkpoint store selected by --cache-dir / REPRO_CACHE_DIR."""
+    if getattr(args, "cache_dir", None):
+        return CheckpointStore(args.cache_dir)
+    return default_store()
+
+
+def _obtain_world(args: argparse.Namespace):
+    """Warm-start the world from the store, else build cold and save it."""
+    store = _store_from(args)
+    if store is not None:
+        world = store.load(ScenarioConfig(), args.scale, args.seed)
+        if world is not None:
+            return world
+    with obs.span("cli.build_world"):
+        world = build_world(scale=args.scale, seed=args.seed)
+    if store is not None:
+        store.save(world)
+    return world
+
+
 def _dispatch(args: argparse.Namespace) -> int:
+    if args.command == "cache":
+        return _cache(args)
     if args.command == "reproduce":
         try:
             specs = select(args.only)
@@ -134,8 +201,7 @@ def _dispatch(args: argparse.Namespace) -> int:
             print(error.args[0], file=sys.stderr)
             return 2
     with obs.span(f"cli.{args.command}", scale=args.scale, seed=args.seed):
-        with obs.span("cli.build_world"):
-            world = build_world(scale=args.scale, seed=args.seed)
+        world = _obtain_world(args)
 
         if args.command == "report":
             report = build_report(world)
@@ -171,6 +237,58 @@ def _dispatch(args: argparse.Namespace) -> int:
                 print(json.dumps(readiness_as_dict(readiness), indent=2))
             else:
                 print(render_readiness(readiness))
+    return 0
+
+
+def _cache(args: argparse.Namespace) -> int:
+    store = _store_from(args)
+    if store is None:
+        print(
+            "no cache directory: pass --cache-dir or set REPRO_CACHE_DIR",
+            file=sys.stderr,
+        )
+        return 2
+    if args.cache_command == "list":
+        entries = store.entries()
+        for info in entries:
+            state = "ok" if info.complete else "incomplete"
+            scale = "?" if info.scale is None else f"{info.scale:g}"
+            seed = "?" if info.seed is None else info.seed
+            print(
+                f"{info.key[:16]}  scale={scale} seed={seed} "
+                f"files={info.n_files} bytes={info.n_bytes} [{state}]"
+            )
+        total = sum(info.n_bytes for info in entries)
+        print(f"-- {len(entries)} entries, {total} bytes in {store.root}")
+    elif args.cache_command == "verify":
+        report = store.verify()
+        bad = 0
+        for key, problems in sorted(report.items()):
+            if problems:
+                bad += 1
+                for problem in problems:
+                    print(f"{key[:16]}  {problem}")
+            else:
+                print(f"{key[:16]}  ok")
+        print(f"-- {len(report) - bad}/{len(report)} entries verified")
+        return 1 if bad else 0
+    elif args.cache_command == "prune":
+        removed = store.prune(keep=max(0, args.keep))
+        for key in removed:
+            print(f"removed {key[:16]}")
+        print(f"-- {len(removed)} entries removed, {args.keep} kept")
+    elif args.cache_command == "warm":
+        with obs.span("cli.cache_warm", scale=args.scale, seed=args.seed):
+            world = _obtain_world(args)
+            summary = f"world scale={args.scale:g} seed={args.seed} stored"
+            if args.years:
+                from repro.scenario.timeline import Timeline
+
+                timeline = Timeline(world, store=store)
+                for year in timeline.years:
+                    timeline.rov_at(year)
+                summary += f" (+{len(timeline.years)} year snapshots)"
+        print(f"{summary} in {store.root}")
     return 0
 
 

@@ -1,5 +1,21 @@
 """Dataset export/import (file-format round-trips for every input)."""
 
+from repro.datasets.checkpoint import (
+    CheckpointStore,
+    checkpoint_key,
+    dataset_digests,
+    default_store,
+    world_digest,
+)
 from repro.datasets.store import DatasetBundle, export_world, load_bundle
 
-__all__ = ["DatasetBundle", "export_world", "load_bundle"]
+__all__ = [
+    "DatasetBundle",
+    "export_world",
+    "load_bundle",
+    "CheckpointStore",
+    "checkpoint_key",
+    "dataset_digests",
+    "default_store",
+    "world_digest",
+]

@@ -30,15 +30,35 @@ from repro.topology.relationships import (
     serialize_relationships,
 )
 
-__all__ = ["export_world", "DatasetBundle", "load_bundle"]
+__all__ = [
+    "export_world",
+    "DatasetBundle",
+    "load_bundle",
+    "PREFIX2AS_FILE",
+    "AS2ORG_FILE",
+    "RELATIONSHIPS_FILE",
+    "VRPS_FILE",
+    "PARTICIPANTS_FILE",
+    "ASRANK_FILE",
+    "IRR_SUFFIX",
+]
 
-_PREFIX2AS = "prefix2as.txt"
-_AS2ORG = "as2org.txt"
-_RELATIONSHIPS = "as-rel.txt"
-_VRPS = "vrps.csv"
-_PARTICIPANTS = "manrs-participants.csv"
-_ASRANK = "as-rank.txt"
-_IRR_SUFFIX = ".irr.txt"
+PREFIX2AS_FILE = "prefix2as.txt"
+AS2ORG_FILE = "as2org.txt"
+RELATIONSHIPS_FILE = "as-rel.txt"
+VRPS_FILE = "vrps.csv"
+PARTICIPANTS_FILE = "manrs-participants.csv"
+ASRANK_FILE = "as-rank.txt"
+IRR_SUFFIX = ".irr.txt"
+
+# Backwards-compatible private aliases (pre-checkpoint callers).
+_PREFIX2AS = PREFIX2AS_FILE
+_AS2ORG = AS2ORG_FILE
+_RELATIONSHIPS = RELATIONSHIPS_FILE
+_VRPS = VRPS_FILE
+_PARTICIPANTS = PARTICIPANTS_FILE
+_ASRANK = ASRANK_FILE
+_IRR_SUFFIX = IRR_SUFFIX
 
 
 def export_world(world: World, directory: str | Path) -> Path:

@@ -9,11 +9,14 @@ once and times only the analyses.
 
 from __future__ import annotations
 
+import os
 from collections import OrderedDict
 from typing import Callable, TypeVar
 
 from repro.core.stats import CDF, make_cdf
+from repro.datasets.checkpoint import default_store
 from repro.scenario.build import build_world
+from repro.scenario.config import ScenarioConfig
 from repro.scenario.world import World
 from repro.topology.classify import SizeClass
 
@@ -22,6 +25,7 @@ __all__ = [
     "population_label",
     "group_metric",
     "world_cache",
+    "world_cache_bound",
 ]
 
 T = TypeVar("T")
@@ -63,26 +67,58 @@ def group_metric(
 #: Most worlds kept alive at once.  Registry sweeps across several
 #: scales would otherwise pin every world in memory for the whole run;
 #: four comfortably covers the usual small/mid/full working set while
-#: bounding the cache at a few GB even at full scale.
+#: bounding the cache at a few GB even at full scale.  Override with the
+#: ``REPRO_WORLD_CACHE_SIZE`` environment variable (like ``REPRO_JOBS``
+#: overrides worker counts) — read at call time, so tests and batch
+#: drivers can tune the bound without importing this module first.
 WORLD_CACHE_SIZE = 4
 
+WORLD_CACHE_SIZE_ENV = "REPRO_WORLD_CACHE_SIZE"
+
 _WORLDS: OrderedDict[tuple[float, int], World] = OrderedDict()
+
+
+def world_cache_bound() -> int:
+    """The in-memory LRU bound: env override, else :data:`WORLD_CACHE_SIZE`.
+
+    Unparseable or non-positive overrides fall back to the default — a
+    misconfigured environment should never break an analysis run.
+    """
+    raw = os.environ.get(WORLD_CACHE_SIZE_ENV, "").strip()
+    if raw:
+        try:
+            override = int(raw)
+        except ValueError:
+            override = 0
+        if override > 0:
+            return override
+    return max(1, WORLD_CACHE_SIZE)
 
 
 def world_cache(scale: float = 1.0, seed: int = 0) -> World:
     """Build (once) and return the world for (scale, seed).
 
-    The memo is a small LRU (:data:`WORLD_CACHE_SIZE` worlds): repeated
-    lookups refresh an entry's recency, and building past the bound
-    evicts the least recently used world.
+    Two-tier: a small in-memory LRU (:func:`world_cache_bound` worlds,
+    default :data:`WORLD_CACHE_SIZE`) in front of the on-disk checkpoint
+    store named by ``REPRO_CACHE_DIR`` (when set).  A memory miss tries
+    the disk store before building cold, and a cold build is saved back
+    so the *next process* warm-starts too.  Disk entries that fail
+    verification are discarded by the store and rebuilt here — callers
+    never see a corrupt world.
     """
     key = (scale, seed)
     world = _WORLDS.get(key)
     if world is None:
-        world = build_world(scale=scale, seed=seed)
+        store = default_store()
+        if store is not None:
+            world = store.load(ScenarioConfig(), scale, seed)
+        if world is None:
+            world = build_world(scale=scale, seed=seed)
+            if store is not None:
+                store.save(world)
         _WORLDS[key] = world
     else:
         _WORLDS.move_to_end(key)
-    while len(_WORLDS) > max(1, WORLD_CACHE_SIZE):
+    while len(_WORLDS) > world_cache_bound():
         _WORLDS.popitem(last=False)
     return world

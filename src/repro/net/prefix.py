@@ -98,6 +98,14 @@ def _format_v6(value: int) -> str:
     return f"{head}::{tail}"
 
 
+#: :meth:`Prefix.parse` memo.  Bounded by wholesale clearing (not LRU):
+#: the working set of distinct prefix strings in even a full-scale world
+#: is far below the bound, so a clear only ever fires on pathological
+#: input streams.
+_parse_cache: dict = {}
+_PARSE_CACHE_MAX = 1 << 18
+
+
 @total_ordering
 class Prefix:
     """An immutable IPv4/IPv6 CIDR prefix.
@@ -138,24 +146,55 @@ class Prefix:
         """Parse ``"a.b.c.d/len"`` or an IPv6 equivalent.
 
         A bare address (no ``/len``) is treated as a host prefix (/32 or
-        /128).
+        /128).  Results are memoised: the same prefix strings recur by
+        the hundreds of thousands when loading dataset bundles and
+        checkpoints, and instances are immutable so sharing them is
+        safe.
         """
-        text = text.strip()
-        if "/" in text:
-            addr_text, _, len_text = text.partition("/")
+        if cls is Prefix:
+            cached = _parse_cache.get(text)
+            if cached is not None:
+                return cached
+        stripped = text.strip()
+        if "/" in stripped:
+            addr_text, _, len_text = stripped.partition("/")
             try:
                 length = int(len_text)
             except ValueError as exc:
                 raise PrefixError(f"malformed prefix length in {text!r}") from exc
         else:
-            addr_text, length = text, -1
+            addr_text, length = stripped, -1
         if ":" in addr_text:
             value, version = _parse_v6(addr_text), 6
         else:
             value, version = _parse_v4(addr_text), 4
         if length < 0:
             length = _V4_BITS if version == 4 else _V6_BITS
-        return cls.from_host(value, length, version)
+        prefix = cls.from_host(value, length, version)
+        if cls is Prefix:
+            if len(_parse_cache) >= _PARSE_CACHE_MAX:
+                _parse_cache.clear()
+            _parse_cache[text] = prefix
+        return prefix
+
+    @classmethod
+    def _from_trusted(cls, value: int, length: int, version: int) -> "Prefix":
+        """Construct without validation from a previously-validated triple.
+
+        Only for callers replaying ``(value, length, version)`` triples
+        that a live :class:`Prefix` produced — the checkpoint store
+        rebuilds hundreds of thousands of prefixes from digest-verified
+        integer columns, and re-running the range/host-bit checks (or
+        round-tripping through text) dominated that path.  Feeding
+        arbitrary integers in here yields an invalid instance, hence
+        private.
+        """
+        self = object.__new__(cls)
+        self._value = value
+        self._length = length
+        self._version = version
+        self._hash = hash((version, value, length))
+        return self
 
     @classmethod
     def from_host(cls, value: int, length: int, version: int = 4) -> "Prefix":

@@ -5,8 +5,11 @@ The measurement pipeline is instrumented with three primitives:
 * :func:`span` — hierarchical wall-clock trace spans with ``key=value``
   attributes (``with obs.span("build.collect_rib", jobs=4): ...``);
 * :func:`add` / :func:`gauge` — a process-wide metrics registry
-  (counters such as routes propagated, memo hits, ROV verdict tallies;
-  gauges such as pool worker counts);
+  (counters such as routes propagated, memo hits, ROV verdict tallies,
+  and the ``checkpoint.hit`` / ``checkpoint.miss`` /
+  ``checkpoint.corrupt`` / ``checkpoint.saved`` counters of the
+  :mod:`repro.datasets.checkpoint` store; gauges such as pool worker
+  counts);
 * exporters — the human span tree (:func:`render_tree`), a JSON
   document (:func:`snapshot` / :func:`write_json`, what ``--trace-json``
   writes), and a flat ``label value`` scrape format

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from datetime import date
+from typing import Iterable
 
 from repro.errors import AllocationError
 from repro.net.prefix import Prefix
@@ -88,6 +89,9 @@ class AddressSpace:
         self._delegations: list[Delegation] = []
         self._by_org: dict[str, list[Delegation]] = {}
         self._index: RadixTree[Delegation] = RadixTree()
+        # Delegations whose radix indexing is deferred (restore() fills
+        # this); drained on the first prefix lookup.
+        self._unindexed: list[Delegation] = []
 
     def allocate(
         self,
@@ -110,6 +114,30 @@ class AddressSpace:
         self._index.insert(block, delegation)
         return delegation
 
+    @classmethod
+    def restore(cls, delegations: Iterable[Delegation]) -> "AddressSpace":
+        """Rebuild the ledger from a recorded delegation sequence.
+
+        The free-pool state is deliberately *not* reconstructed: a
+        restored space answers every ledger query (``delegations``,
+        ``delegations_for``, ``holder_of``) identically to the original,
+        but further :meth:`allocate` calls raise — checkpointed worlds
+        are finished building, and handing out already-delegated blocks
+        again would corrupt them silently.
+
+        The prefix radix index is built lazily on the first
+        :meth:`holder_of` call: most warm-started workloads never look a
+        prefix up here, and eagerly indexing tens of thousands of
+        delegations was one of the larger warm-start costs.
+        """
+        space = cls()
+        space._pools = {key: _Pool() for key in space._pools}
+        for delegation in delegations:
+            space._delegations.append(delegation)
+            space._by_org.setdefault(delegation.org_id, []).append(delegation)
+        space._unindexed = list(space._delegations)
+        return space
+
     @property
     def delegations(self) -> tuple[Delegation, ...]:
         """All delegations made so far, in allocation order."""
@@ -125,6 +153,10 @@ class AddressSpace:
         Delegations never overlap (the buddy allocator guarantees
         disjointness), so at most one can cover a prefix.
         """
+        if self._unindexed:
+            for delegation in self._unindexed:
+                self._index.insert(delegation.prefix, delegation)
+            self._unindexed = []
         covering = self._index.covering(prefix)
         return covering[0] if covering else None
 

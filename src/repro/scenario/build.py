@@ -24,7 +24,7 @@ import numpy as np
 from repro import obs
 from repro.bgp.announcement import Announcement
 from repro.bgp.collector import collect_rib, select_vantage_points
-from repro.bgp.policy import ASPolicy, RouteClass
+from repro.bgp.policy import RouteClass
 from repro.bgp.propagation import PropagationEngine
 from repro.bgp.table import Prefix2AS
 from repro.errors import AllocationError
@@ -43,7 +43,7 @@ from repro.rpki.roa import ROA
 from repro.rpki.rov import ROVValidator
 from repro.rpki.validator import RelyingParty
 from repro.scenario.config import RegistrationBehavior, ScenarioConfig
-from repro.scenario.world import ASBehavior, Origination, World
+from repro.scenario.world import ASBehavior, Origination, World, derive_policies
 from repro.topology.as2org import As2Org
 from repro.topology.classify import SizeClass, classify_all
 from repro.topology.generator import TopologyConfig, generate_topology
@@ -128,18 +128,7 @@ def _build_world(
         ctx.populate_irr()
         obs.add("build.irr_routes", ctx.irr.route_count)
 
-    policies = {
-        asn: ASPolicy(
-            rov=behavior.rov,
-            filter_customers_rpki=behavior.filter_customers,
-            filter_customers_irr=behavior.filter_customers,
-            customer_filter_coverage=behavior.filter_coverage,
-            # Internal (sibling) sessions bypass the Action 1 filters:
-            # nobody prefix-filters their own organisation.
-            unfiltered_customers=frozenset(topology.siblings(asn)),
-        )
-        for asn, behavior in ctx.behaviors.items()
-    }
+    policies = derive_policies(topology, ctx.behaviors)
     with obs.span("build.relying_party"):
         relying_party = RelyingParty(ctx.rpki_repository)
         rov = ROVValidator(relying_party.validate(config.snapshot_date).vrps)
@@ -208,6 +197,7 @@ def _build_world(
         rib=rib,
         ihr=ihr,
         prefix2as=prefix2as,
+        scale=scale,
     )
 
 

@@ -17,8 +17,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from datetime import date, timedelta
+from typing import TYPE_CHECKING
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.datasets.checkpoint import CheckpointStore
 
 from repro import obs
 from repro.core.conformance import origination_stats
@@ -60,11 +64,26 @@ class SaturationPoint:
 
 
 class Timeline:
-    """Annual series derived from one built world."""
+    """Annual series derived from one built world.
 
-    def __init__(self, world: World):
+    When a checkpoint ``store`` is supplied, per-year VRP snapshots are
+    persisted next to the world's entry (``years/vrps-<year>.csv`` with a
+    digest side-car) and restored instead of re-validated on later runs.
+    Restoration is safe-by-default like every checkpoint load: a failed
+    digest discards the snapshot and re-validates.
+    """
+
+    def __init__(self, world: World, store: "CheckpointStore | None" = None):
         self._world = world
         self._rov_cache: dict[int, ROVValidator] = {}
+        self._store = store
+        self._store_key: str | None = None
+        if store is not None:
+            from repro.datasets.checkpoint import checkpoint_key
+
+            self._store_key = checkpoint_key(
+                world.config, world.scale, world.seed
+            )
         # One incremental relying party serves every year: per-ROA
         # validity windows are precomputed once, and each additional
         # year-end costs date comparisons only (objects whose windows the
@@ -80,15 +99,38 @@ class Timeline:
             return self._world.config.snapshot_date
         return date(year, 12, 31)
 
+    def _restore_year(self, year: int) -> ROVValidator | None:
+        """A validator from the stored year snapshot, if one verifies.
+
+        ROV classification is order-independent over the VRP set, so
+        restoring the (sorted) CSV yields verdicts identical to a fresh
+        validation — asserted by the checkpoint tests.
+        """
+        if self._store is None or self._store_key is None:
+            return None
+        vrps = self._store.load_year_vrps(self._store_key, year)
+        if vrps is None:
+            return None
+        obs.add("timeline.rov_years_restored")
+        return ROVValidator(vrps)
+
     def rov_at(self, year: int) -> ROVValidator:
         """ROV validator over the VRPs published by the end of ``year``."""
         validator = self._rov_cache.get(year)
         if validator is None:
+            validator = self._restore_year(year)
+            if validator is not None:
+                self._rov_cache[year] = validator
+                return validator
             with obs.span("timeline.rov_at", year=year), obs.gc_paused():
                 report = self._relying_party.validate(self._year_end(year))
                 validator = ROVValidator(report.vrps)
             obs.add("timeline.rov_years_validated")
             self._rov_cache[year] = validator
+            if self._store is not None and self._store_key is not None:
+                self._store.save_year_vrps(
+                    self._store_key, year, report.vrps, self._year_end(year)
+                )
         else:
             obs.add("timeline.rov_cache_hits")
         return validator

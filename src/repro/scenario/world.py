@@ -29,7 +29,30 @@ from repro.topology.as2org import As2Org
 from repro.topology.classify import SizeClass
 from repro.topology.model import ASTopology
 
-__all__ = ["Origination", "ASBehavior", "World"]
+__all__ = ["Origination", "ASBehavior", "World", "derive_policies"]
+
+
+def derive_policies(
+    topology: ASTopology, behaviors: dict[int, "ASBehavior"]
+) -> dict[int, ASPolicy]:
+    """Import policies implied by the sampled behaviours.
+
+    Policies are a pure function of (topology, behaviours); the builder
+    and the checkpoint loader both call this, which is what keeps a
+    warm-started world's filtering identical to a cold build's.
+    """
+    return {
+        asn: ASPolicy(
+            rov=behavior.rov,
+            filter_customers_rpki=behavior.filter_customers,
+            filter_customers_irr=behavior.filter_customers,
+            customer_filter_coverage=behavior.filter_coverage,
+            # Internal (sibling) sessions bypass the Action 1 filters:
+            # nobody prefix-filters their own organisation.
+            unfiltered_customers=frozenset(topology.siblings(asn)),
+        )
+        for asn, behavior in behaviors.items()
+    }
 
 
 @dataclass(frozen=True)
@@ -90,6 +113,10 @@ class World:
     rib: RibSnapshot
     ihr: IHRDataset
     prefix2as: Prefix2AS
+    #: The topology scale multiplier this world was built at.  Part of the
+    #: checkpoint identity (config, scale, seed) — the config alone does
+    #: not capture the population counts.
+    scale: float = 1.0
 
     @property
     def snapshot_date(self) -> date:

@@ -9,16 +9,28 @@ run off files exactly as it would off the real dataset.
 
 from __future__ import annotations
 
+from typing import Iterable
+
 from repro.errors import DatasetError
 from repro.topology.model import ASTopology, Relationship
 
 __all__ = ["serialize_relationships", "parse_relationships"]
 
 
-def serialize_relationships(topology: ASTopology) -> str:
-    """Render all edges in CAIDA serial-1 format (with a header comment)."""
+def serialize_relationships(
+    topology: ASTopology | Iterable[tuple[int, int, Relationship]],
+) -> str:
+    """Render all edges in CAIDA serial-1 format (with a header comment).
+
+    Accepts either a topology (edges emitted in its canonical sorted
+    order) or an already-ordered edge list, so a parsed file re-serialises
+    byte-identically — the bundle round-trip property relies on this.
+    """
+    edges = (
+        topology.edges() if isinstance(topology, ASTopology) else topology
+    )
     lines = ["# <provider-as>|<customer-as>|-1  or  <peer-as>|<peer-as>|0"]
-    for a, b, relationship in topology.edges():
+    for a, b, relationship in edges:
         lines.append(f"{a}|{b}|{relationship.value}")
     return "\n".join(lines) + "\n"
 

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from hypothesis import given, settings, strategies as st
+
 from repro.datasets.store import export_world, load_bundle
 
 
@@ -91,3 +93,65 @@ class TestASRankDataset:
         export_world(small_world, tmp_path)
         bundle = load_bundle(tmp_path)
         assert len(bundle.asrank) == len(small_world.topology)
+
+
+class TestBundleFixedPoint:
+    """export_world → load_bundle → re-export is a byte-level fixed point.
+
+    Extends the per-object RPSL round-trip property (tests/test_irr.py)
+    to the whole dataset bundle: every file re-serialised from the
+    parsed bundle must be byte-identical to the exported original, over
+    Hypothesis-generated small worlds.  This is the substrate of the
+    checkpoint store's warm-equals-cold guarantee — if any serializer
+    lost information (ordering, formatting, a dropped field), warm
+    worlds could not reproduce cold digests.
+    """
+
+    @staticmethod
+    def _reexports(world, bundle) -> dict[str, str]:
+        from repro.bgp.table import serialize_prefix2as
+        from repro.datasets.store import IRR_SUFFIX
+        from repro.irr.rpsl import serialize_database
+        from repro.manrs.registry import serialize_participants
+        from repro.rpki.archive import serialize_vrps
+        from repro.topology.as2org import serialize_as2org
+        from repro.topology.asrank import serialize_asrank
+        from repro.topology.relationships import serialize_relationships
+
+        texts = {
+            "prefix2as.txt": serialize_prefix2as(bundle.prefix2as),
+            "as2org.txt": serialize_as2org(bundle.as2org),
+            "as-rel.txt": serialize_relationships(bundle.relationships),
+            "vrps.csv": serialize_vrps(bundle.vrps, world.snapshot_date),
+            "manrs-participants.csv": serialize_participants(bundle.manrs),
+            "as-rank.txt": serialize_asrank(bundle.asrank),
+        }
+        for database in bundle.irr.databases:
+            texts[f"{database.name.lower()}{IRR_SUFFIX}"] = (
+                serialize_database(list(database.all_routes()))
+            )
+        return texts
+
+    @given(
+        seed=st.integers(min_value=0, max_value=40),
+        scale=st.sampled_from([0.02, 0.03]),
+    )
+    @settings(max_examples=5, deadline=None)
+    def test_reexport_is_byte_identical(self, seed, scale):
+        import tempfile
+        from pathlib import Path
+
+        from repro.scenario.build import build_world
+
+        world = build_world(scale=scale, seed=seed)
+        with tempfile.TemporaryDirectory() as exported:
+            export_world(world, exported)
+            bundle = load_bundle(exported)
+            originals = {
+                path.name: path.read_text()
+                for path in Path(exported).iterdir()
+            }
+        reexports = self._reexports(world, bundle)
+        assert set(reexports) == set(originals)
+        for name, text in reexports.items():
+            assert text == originals[name], f"{name} is not a fixed point"

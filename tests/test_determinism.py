@@ -1,0 +1,82 @@
+"""Cross-process determinism of world construction.
+
+DESIGN §2's paper-shape claims (and the checkpoint store's content
+addressing) assume `build_world` is a pure function of (config, scale,
+seed).  The riskiest way for that to break silently is hash-order
+dependence — iteration over sets/dicts keyed by str leaking into
+serialised output.  Building the same world in subprocesses with
+*different* ``PYTHONHASHSEED`` values and comparing digests guards
+exactly that: within one process the hash seed is fixed, so only a
+fresh interpreter can vary it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+
+_CHILD = """
+import json
+import sys
+
+from repro.datasets.checkpoint import dataset_digests, world_digest
+from repro.scenario.build import build_world
+
+world = build_world(scale=float(sys.argv[1]), seed=int(sys.argv[2]))
+print(json.dumps({
+    "world": world_digest(world),
+    "datasets": dataset_digests(world),
+}))
+"""
+
+
+def _digests_in_subprocess(hash_seed: str, scale: float, seed: int) -> dict:
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = hash_seed
+    env["PYTHONPATH"] = str(SRC)
+    env.pop("REPRO_CACHE_DIR", None)  # digests must come from cold builds
+    result = subprocess.run(
+        [sys.executable, "-c", _CHILD, str(scale), str(seed)],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=True,
+        timeout=600,
+    )
+    return json.loads(result.stdout)
+
+
+def test_digests_survive_hash_seed_change():
+    first = _digests_in_subprocess("0", 0.05, 3)
+    second = _digests_in_subprocess("101", 0.05, 3)
+    drifted = [
+        name
+        for name in first["datasets"]
+        if first["datasets"][name] != second["datasets"].get(name)
+    ]
+    assert not drifted, (
+        "hash-order dependence: datasets differ across PYTHONHASHSEED "
+        f"0 vs 101: {drifted}"
+    )
+    assert first["world"] == second["world"]
+
+
+def test_subprocess_matches_golden_point():
+    """The subprocess digests agree with the committed goldens, tying
+    cross-process determinism to the golden regression suite."""
+    goldens = json.loads(
+        (Path(__file__).parent / "goldens" / "world_digests.json").read_text()
+    )
+    entry = next(
+        e
+        for e in goldens["entries"]
+        if (e["scale"], e["seed"]) == (0.05, 3)
+    )
+    child = _digests_in_subprocess("7", 0.05, 3)
+    assert child["world"] == entry["world_digest"]
+    assert child["datasets"] == entry["datasets"]
