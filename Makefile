@@ -10,7 +10,7 @@ SCALE ?= 1.0
 LABEL ?= local
 SMOKE_BUDGET ?= 120
 
-.PHONY: test lint bench bench-pytest profile smoke-profile trace-smoke
+.PHONY: test lint bench bench-pytest profile smoke-profile trace-smoke sweep-smoke
 
 ## Tier-1 test suite (unit + integration + equivalence).
 test:
@@ -50,3 +50,11 @@ profile:
 smoke-profile:
 	$(PYTHON) benchmarks/run.py --smoke --budget $(SMOKE_BUDGET) \
 		--label smoke --output-dir /tmp
+
+## Sweep orchestrator smoke: run -> resume -> report on the example
+## grid, against a throwaway cache/ledger directory.
+sweep-smoke:
+	rm -rf /tmp/repro-sweep-smoke
+	REPRO_CACHE_DIR=/tmp/repro-sweep-smoke $(PYTHON) -m repro sweep run examples/sweep_smoke.json --workers 2
+	REPRO_CACHE_DIR=/tmp/repro-sweep-smoke $(PYTHON) -m repro sweep resume examples/sweep_smoke.json
+	REPRO_CACHE_DIR=/tmp/repro-sweep-smoke $(PYTHON) -m repro sweep report examples/sweep_smoke.json

@@ -13,6 +13,7 @@ Usage::
     PYTHONPATH=src python benchmarks/run.py --label pr1 --jobs 4
     PYTHONPATH=src python benchmarks/run.py --smoke --budget 60    # CI gate
     PYTHONPATH=src python benchmarks/run.py --experiments          # + registry
+    PYTHONPATH=src python benchmarks/run.py --sweep                # + orchestrator
 
 ``--experiments`` additionally times every experiment in
 ``repro.experiments.REGISTRY`` once on a built world, recording one
@@ -23,6 +24,12 @@ counters such as cache hit rates and routes propagated).
 ``--smoke`` runs one round at ``--scale 0.3`` (unless overridden) and
 exits 1 if the end-to-end mean exceeds ``--budget`` seconds — a cheap
 regression tripwire for CI.
+
+``--sweep`` measures the ``repro.sweep`` orchestrator: an 8-job grid
+(one experiment, 8 seeds at ``--sweep-scale``) is run once to warm a
+shared checkpoint store, then re-run from scratch ledgers at 1 worker
+and at ``--sweep-workers`` workers, recording jobs/min per worker count
+and the parallel speedup under the ``sweep`` key.
 
 Unless ``--no-warm-start`` is passed, the run also measures the
 checkpoint store (``repro.datasets.checkpoint``): one cold build vs one
@@ -96,6 +103,91 @@ def run_warm_start(scale: float, seed: int, jobs: int | None) -> dict:
         "speedup": cold / warm,
         "digest_equal": digest_equal,
     }
+
+
+def run_sweep_bench(sweep_scale: float, max_workers: int) -> dict:
+    """Sweep-orchestrator throughput: jobs/min at 1 vs ``max_workers``.
+
+    The grid is 8 independent jobs (8 seeds, one experiment each).  The
+    checkpoint store is warmed by one throwaway pass first, so both
+    measured phases run warm-started jobs against fresh ledgers — the
+    comparison isolates scheduler throughput and worker scaling from
+    first-build cost.
+    """
+    import os
+    import tempfile
+
+    from repro.sweep import SweepSpec, run_sweep
+
+    spec = SweepSpec(
+        name="bench",
+        scales=(sweep_scale,),
+        seeds=tuple(range(1, 9)),
+        experiment_sets=(("fig4",),),
+        timeout=600.0,
+        max_attempts=1,
+        backoff=0.0,
+    )
+    n_jobs = len(spec.expand())
+    # Parallel speedup is bounded by the host: on a single-core runner
+    # the N-worker phase degenerates to time-slicing and the recorded
+    # speedup hovers around 1.0x — the cores field makes that legible
+    # in the BENCH trajectory instead of looking like a regression.
+    cores = len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") else (
+        os.cpu_count() or 1
+    )
+    result: dict = {
+        "scale": sweep_scale,
+        "jobs": n_jobs,
+        "cores": cores,
+        "by_workers": {},
+    }
+    previous = os.environ.get("REPRO_CACHE_DIR")
+    with tempfile.TemporaryDirectory(prefix="repro-bench-sweep-") as tmp:
+        root = Path(tmp)
+        os.environ["REPRO_CACHE_DIR"] = str(root / "cache")
+        try:
+            start = time.perf_counter()
+            warm = run_sweep(spec, root / "ledger-warm", workers=max_workers)
+            result["warm_pass_seconds"] = time.perf_counter() - start
+            if not warm.ok:
+                raise RuntimeError(f"sweep warm pass failed: {warm.failures}")
+            for workers in (1, max_workers):
+                start = time.perf_counter()
+                outcome = run_sweep(
+                    spec, root / f"ledger-w{workers}", workers=workers
+                )
+                elapsed = time.perf_counter() - start
+                if not outcome.ok:
+                    raise RuntimeError(
+                        f"sweep bench failed at {workers} workers: "
+                        f"{outcome.failures}"
+                    )
+                result["by_workers"][str(workers)] = {
+                    "seconds": elapsed,
+                    "jobs_per_minute": 60.0 * n_jobs / elapsed,
+                }
+                print(
+                    f"sweep: {n_jobs} jobs at {workers} worker(s) in "
+                    f"{elapsed:.2f}s "
+                    f"({60.0 * n_jobs / elapsed:.1f} jobs/min)",
+                    file=sys.stderr,
+                )
+        finally:
+            if previous is None:
+                os.environ.pop("REPRO_CACHE_DIR", None)
+            else:
+                os.environ["REPRO_CACHE_DIR"] = previous
+    result["speedup"] = (
+        result["by_workers"][str(max_workers)]["jobs_per_minute"]
+        / result["by_workers"]["1"]["jobs_per_minute"]
+    )
+    print(
+        f"sweep: {max_workers}-worker speedup {result['speedup']:.2f}x "
+        f"on {cores} core(s)",
+        file=sys.stderr,
+    )
+    return result
 
 
 def git_rev() -> str:
@@ -204,6 +296,23 @@ def main(argv: list[str] | None = None) -> int:
         help="smoke-mode time budget in seconds (generous by design)",
     )
     parser.add_argument(
+        "--sweep",
+        action="store_true",
+        help="also benchmark repro.sweep throughput at 1 vs N workers",
+    )
+    parser.add_argument(
+        "--sweep-scale",
+        type=float,
+        default=0.2,
+        help="world scale for the sweep benchmark grid (default: 0.2)",
+    )
+    parser.add_argument(
+        "--sweep-workers",
+        type=int,
+        default=4,
+        help="worker count for the parallel sweep phase (default: 4)",
+    )
+    parser.add_argument(
         "--no-warm-start",
         action="store_true",
         help="skip the checkpoint cold-vs-warm comparison",
@@ -217,6 +326,14 @@ def main(argv: list[str] | None = None) -> int:
     scale = args.scale if args.scale is not None else (0.3 if args.smoke else 1.0)
 
     obs.reset()
+    # The sweep benchmark forks worker processes, so it runs first —
+    # before the full-scale builds inflate this process's RSS and make
+    # every fork (and its copy-on-write faults) needlessly expensive.
+    sweep = (
+        run_sweep_bench(args.sweep_scale, max(2, args.sweep_workers))
+        if args.sweep
+        else None
+    )
     benchmarks = run_rounds(scale, args.seed, args.jobs, rounds)
     warm_start = None if args.no_warm_start else run_warm_start(
         scale, args.seed, args.jobs
@@ -226,7 +343,6 @@ def main(argv: list[str] | None = None) -> int:
         if args.experiments
         else None
     )
-
     payload = {
         "label": args.label,
         "scale": scale,
@@ -245,6 +361,8 @@ def main(argv: list[str] | None = None) -> int:
         payload["warm_start"] = warm_start
     if experiments is not None:
         payload["experiments"] = experiments
+    if sweep is not None:
+        payload["sweep"] = sweep
     out_path = args.output_dir / f"BENCH_{args.label}.json"
     out_path.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {out_path}", file=sys.stderr)

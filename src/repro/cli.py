@@ -9,6 +9,15 @@ Commands::
     hijack     run one hijack simulation and report capture
     ready      check whether an AS meets the MANRS requirements
     cache      manage the checkpoint store (list, verify, prune, warm)
+    sweep      orchestrate job grids (run, resume, status, report, list)
+
+``repro reproduce --list`` and ``repro sweep list`` print the
+experiment registry table (name, title, paper ref) without building a
+world.  ``repro sweep run SPEC.json`` expands a declarative grid into
+jobs, runs them across worker processes with retry/timeout/crash
+isolation, and records everything in a persistent ledger under
+``<cache dir>/sweeps/<sweep id>``; ``sweep resume`` re-runs only the
+jobs without a verified result (see the README's "Sweeps" section).
 
 All commands accept ``--scale`` and ``--seed`` — before or after the
 subcommand — and worlds are deterministic per pair.  Every command also
@@ -36,7 +45,7 @@ from repro import obs
 from repro.core.report import build_report, render_report, report_as_dict
 from repro.datasets.checkpoint import CheckpointStore, default_store
 from repro.datasets.store import export_world
-from repro.experiments.registry import select
+from repro.experiments.registry import registry_table, select
 from repro.scenario.build import build_world
 from repro.scenario.config import ScenarioConfig
 
@@ -100,6 +109,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--only", metavar="NAMES", default=None,
         help="comma-separated experiment names (e.g. fig5,tab2)",
     )
+    reproduce.add_argument(
+        "--list", action="store_true",
+        help="print the experiment registry table and exit",
+    )
     export = sub.add_parser(
         "export", parents=[common], help="write datasets to a directory"
     )
@@ -156,6 +169,38 @@ def build_parser() -> argparse.ArgumentParser:
         "--years", action="store_true",
         help="also checkpoint the per-year timeline VRP snapshots",
     )
+    sweep = sub.add_parser(
+        "sweep", parents=[common],
+        help="run job grids with a persistent run ledger",
+    )
+    sweep_sub = sweep.add_subparsers(dest="sweep_command", required=True)
+    for verb, description in (
+        ("run", "expand the spec and run every job not already done"),
+        ("resume", "re-run only the jobs without a verified result"),
+        ("status", "print per-job ledger status for the spec"),
+        ("report", "aggregate completed results by experiment"),
+    ):
+        verb_parser = sweep_sub.add_parser(
+            verb, parents=[common], help=description
+        )
+        verb_parser.add_argument("spec", help="sweep spec JSON file")
+        if verb in ("run", "resume"):
+            verb_parser.add_argument(
+                "--workers", type=int, default=None,
+                help="worker processes (default: spec, then REPRO_JOBS)",
+            )
+            verb_parser.add_argument(
+                "--timeout", type=float, default=None,
+                help="per-attempt seconds (overrides the spec)",
+            )
+            verb_parser.add_argument(
+                "--max-attempts", type=int, default=None,
+                help="attempts per job (overrides the spec)",
+            )
+    sweep_sub.add_parser(
+        "list", parents=[common],
+        help="print the experiment registry table",
+    )
     return parser
 
 
@@ -194,7 +239,12 @@ def _obtain_world(args: argparse.Namespace):
 def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "cache":
         return _cache(args)
+    if args.command == "sweep":
+        return _sweep(args)
     if args.command == "reproduce":
+        if args.list:
+            print(registry_table())
+            return 0
         try:
             specs = select(args.only)
         except KeyError as error:
@@ -238,6 +288,62 @@ def _dispatch(args: argparse.Namespace) -> int:
             else:
                 print(render_readiness(readiness))
     return 0
+
+
+def _sweep(args: argparse.Namespace) -> int:
+    from repro.sweep import (
+        RunLedger,
+        SweepSpec,
+        SweepSpecError,
+        aggregate,
+        render_report,
+        render_status,
+        run_sweep,
+    )
+
+    if args.sweep_command == "list":
+        print(registry_table())
+        return 0
+    store = _store_from(args)
+    if store is None:
+        print(
+            "no cache directory: pass --cache-dir or set REPRO_CACHE_DIR "
+            "(the sweep ledger lives under <cache dir>/sweeps)",
+            file=sys.stderr,
+        )
+        return 2
+    ledger_root = store.root / "sweeps"
+    try:
+        spec = SweepSpec.from_file(args.spec)
+        if getattr(args, "timeout", None) is not None:
+            spec.timeout = args.timeout
+        if getattr(args, "max_attempts", None) is not None:
+            spec.max_attempts = max(1, args.max_attempts)
+        jobs = spec.expand()
+    except SweepSpecError as error:
+        print(f"invalid sweep spec: {error}", file=sys.stderr)
+        return 2
+
+    if args.sweep_command in ("run", "resume"):
+        outcome = run_sweep(
+            spec,
+            ledger_root,
+            workers=args.workers,
+            progress=lambda message: print(message, file=sys.stderr),
+        )
+        print(outcome.summary())
+        for job_id, error in sorted(outcome.failures.items()):
+            print(f"failed {job_id[:12]}: {error}")
+        print(f"ledger: {outcome.ledger_dir}")
+        return 0 if outcome.ok else 1
+    ledger = RunLedger(ledger_root / spec.sweep_id)
+    if args.sweep_command == "status":
+        print(render_status(jobs, ledger.job_states()))
+        return 0
+    # report
+    aggregated = aggregate(jobs, ledger.completed())
+    print(render_report(aggregated))
+    return 0 if not aggregated["missing"] else 1
 
 
 def _cache(args: argparse.Namespace) -> int:

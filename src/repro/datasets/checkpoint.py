@@ -102,6 +102,7 @@ __all__ = [
     "CheckpointStore",
     "canonical_config",
     "checkpoint_key",
+    "content_key",
     "dataset_digests",
     "default_store",
     "world_digest",
@@ -185,6 +186,24 @@ def checkpoint_key(config: ScenarioConfig, scale: float, seed: int) -> str:
         separators=(",", ":"),
     )
     return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def content_key(payload: object, kind: str = "") -> str:
+    """Content digest of any canonicalisable payload.
+
+    The generic form of :func:`checkpoint_key`: dataclasses, enums,
+    dates, sets and tuple-keyed dicts are reduced to one canonical JSON
+    shape and hashed, so equal values produce equal keys across
+    processes and hash seeds.  ``kind`` namespaces unrelated users (a
+    sweep job id and a checkpoint entry built from the same mapping must
+    not collide); callers version their own payloads.
+    """
+    body = json.dumps(
+        {"kind": kind, "payload": _canonical(payload)},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(body.encode()).hexdigest()
 
 
 def _sha256_text(text: str) -> str:

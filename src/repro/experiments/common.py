@@ -14,7 +14,7 @@ from collections import OrderedDict
 from typing import Callable, TypeVar
 
 from repro.core.stats import CDF, make_cdf
-from repro.datasets.checkpoint import default_store
+from repro.datasets.checkpoint import checkpoint_key, default_store
 from repro.scenario.build import build_world
 from repro.scenario.config import ScenarioConfig
 from repro.scenario.world import World
@@ -75,7 +75,11 @@ WORLD_CACHE_SIZE = 4
 
 WORLD_CACHE_SIZE_ENV = "REPRO_WORLD_CACHE_SIZE"
 
-_WORLDS: OrderedDict[tuple[float, int], World] = OrderedDict()
+#: Keys are ``(scale, seed)`` for the default scenario config and
+#: ``(scale, seed, config_key)`` for overridden configs (sweep jobs) —
+#: the short key keeps default-config entries introspectable by tests
+#: and tooling that predate config-aware caching.
+_WORLDS: OrderedDict[tuple, World] = OrderedDict()
 
 
 def world_cache_bound() -> int:
@@ -95,8 +99,10 @@ def world_cache_bound() -> int:
     return max(1, WORLD_CACHE_SIZE)
 
 
-def world_cache(scale: float = 1.0, seed: int = 0) -> World:
-    """Build (once) and return the world for (scale, seed).
+def world_cache(
+    scale: float = 1.0, seed: int = 0, config: ScenarioConfig | None = None
+) -> World:
+    """Build (once) and return the world for (scale, seed[, config]).
 
     Two-tier: a small in-memory LRU (:func:`world_cache_bound` worlds,
     default :data:`WORLD_CACHE_SIZE`) in front of the on-disk checkpoint
@@ -105,15 +111,28 @@ def world_cache(scale: float = 1.0, seed: int = 0) -> World:
     so the *next process* warm-starts too.  Disk entries that fail
     verification are discarded by the store and rebuilt here — callers
     never see a corrupt world.
+
+    ``config`` selects a scenario override (sweep jobs build variant
+    worlds); ``None`` means the default :class:`ScenarioConfig`, cached
+    under the historical ``(scale, seed)`` key.
     """
-    key = (scale, seed)
+    if config is None:
+        key: tuple = (scale, seed)
+    else:
+        key = (scale, seed, checkpoint_key(config, scale, seed))
     world = _WORLDS.get(key)
     if world is None:
         store = default_store()
         if store is not None:
-            world = store.load(ScenarioConfig(), scale, seed)
+            world = store.load(config or ScenarioConfig(), scale, seed)
         if world is None:
-            world = build_world(scale=scale, seed=seed)
+            # config is passed through only when overridden, so test
+            # doubles with the historical (scale, seed) signature and
+            # the default-config build path stay byte-compatible.
+            if config is None:
+                world = build_world(scale=scale, seed=seed)
+            else:
+                world = build_world(scale=scale, seed=seed, config=config)
             if store is not None:
                 store.save(world)
         _WORLDS[key] = world

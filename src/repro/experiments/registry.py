@@ -30,7 +30,7 @@ import repro.experiments.tab1_casestudies as tab1_casestudies
 import repro.experiments.tab2_action1 as tab2_action1
 from repro.scenario.world import World
 
-__all__ = ["REGISTRY", "ExperimentSpec", "select"]
+__all__ = ["REGISTRY", "ExperimentSpec", "registry_table", "select"]
 
 
 @dataclass(frozen=True)
@@ -166,3 +166,27 @@ def select(names: Iterable[str] | str | None = None) -> list[ExperimentSpec]:
             f"choose from {list(REGISTRY)}"
         )
     return [spec for name, spec in REGISTRY.items() if name in wanted]
+
+
+def registry_table() -> str:
+    """The registry as an aligned text table (name, title, paper ref).
+
+    What ``repro reproduce --list`` and ``repro sweep list`` print, so a
+    user can discover valid ``--only`` / sweep ``experiments`` names
+    without reading source.
+    """
+    rows = [
+        (spec.name, spec.title, spec.paper_ref)
+        for spec in REGISTRY.values()
+    ]
+    widths = [
+        max(len(row[column]) for row in (("name", "title", "paper ref"), *rows))
+        for column in range(3)
+    ]
+    lines = []
+    for name, title, ref in (("name", "title", "paper ref"), *rows):
+        lines.append(
+            f"{name:<{widths[0]}}  {title:<{widths[1]}}  {ref:<{widths[2]}}".rstrip()
+        )
+    lines.insert(1, "  ".join("-" * width for width in widths))
+    return "\n".join(lines)

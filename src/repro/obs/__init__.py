@@ -6,10 +6,11 @@ The measurement pipeline is instrumented with three primitives:
   attributes (``with obs.span("build.collect_rib", jobs=4): ...``);
 * :func:`add` / :func:`gauge` — a process-wide metrics registry
   (counters such as routes propagated, memo hits, ROV verdict tallies,
-  and the ``checkpoint.hit`` / ``checkpoint.miss`` /
-  ``checkpoint.corrupt`` / ``checkpoint.saved`` counters of the
-  :mod:`repro.datasets.checkpoint` store; gauges such as pool worker
-  counts);
+  the ``checkpoint.hit`` / ``checkpoint.miss`` / ``checkpoint.corrupt``
+  / ``checkpoint.saved`` counters of the :mod:`repro.datasets.checkpoint`
+  store, and the sweep orchestrator's ``sweep.jobs.{done,failed,
+  retried,skipped}`` / ``sweep.ledger.corrupt`` / ``sweep.pool.rebuilt``
+  counters; gauges such as pool worker counts and ``sweep.workers``);
 * exporters — the human span tree (:func:`render_tree`), a JSON
   document (:func:`snapshot` / :func:`write_json`, what ``--trace-json``
   writes), and a flat ``label value`` scrape format

@@ -1,0 +1,54 @@
+"""``repro.sweep``: fault-tolerant parallel sweeps with a run ledger.
+
+The paper's claims rest on repeating the same measurement over many
+snapshots and parameterisations; this package is the subsystem that
+does so at scale.  Four layers, each usable on its own:
+
+* :mod:`repro.sweep.spec` — declarative :class:`SweepSpec` grids that
+  expand to :class:`Job` records with stable content-derived ids;
+* :mod:`repro.sweep.worker` — the per-job unit of work (warm-started
+  through the checkpoint store) plus the SIGALRM attempt budget and the
+  ``REPRO_SWEEP_FAIL_JOBS`` fault-injection hook;
+* :mod:`repro.sweep.ledger` — the persistent, digest-verified JSONL run
+  ledger that makes ``sweep resume`` skip completed jobs after a kill;
+* :mod:`repro.sweep.scheduler` — the process-pool scheduler: retry with
+  backoff, per-attempt timeouts, crash isolation, partial completion;
+* :mod:`repro.sweep.aggregate` — per-experiment grouping across the
+  sweep axes and the ``status``/``report`` text views.
+
+CLI: ``repro sweep run|resume|status|report <spec.json>`` and
+``repro sweep list``; see the README's "Sweeps" section and
+``examples/sweep_smoke.json``.
+"""
+
+from __future__ import annotations
+
+from repro.sweep.aggregate import aggregate, render_report, render_status
+from repro.sweep.ledger import RunLedger
+from repro.sweep.scheduler import SweepOutcome, run_sweep
+from repro.sweep.spec import (
+    SWEEP_SCHEMA_VERSION,
+    Job,
+    SweepSpec,
+    SweepSpecError,
+    apply_overrides,
+    job_id_for,
+)
+from repro.sweep.worker import FAIL_JOBS_ENV, run_job
+
+__all__ = [
+    "FAIL_JOBS_ENV",
+    "SWEEP_SCHEMA_VERSION",
+    "Job",
+    "RunLedger",
+    "SweepOutcome",
+    "SweepSpec",
+    "SweepSpecError",
+    "aggregate",
+    "apply_overrides",
+    "job_id_for",
+    "render_report",
+    "render_status",
+    "run_job",
+    "run_sweep",
+]

@@ -1,0 +1,147 @@
+"""Aggregation and rendering of sweep results.
+
+A sweep's raw output is one payload per job — rendered experiment text
+plus a SHA-256 per experiment.  :func:`aggregate` regroups that by
+*experiment* across the sweep axes, which is the question a sweep
+answers: for each paper artefact, how do its results spread across
+seeds, scales and scenario variants?  Two jobs that agree byte-for-byte
+share a digest, so "is fig5 stable across 8 seeds?" reads directly off
+``distinct_results`` without diffing text.
+
+``render_status`` and ``render_report`` are the text views behind
+``repro sweep status`` / ``repro sweep report``.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Mapping
+
+from repro import obs
+from repro.sweep.ledger import JobState
+from repro.sweep.spec import Job
+
+__all__ = ["aggregate", "render_report", "render_status"]
+
+
+def aggregate(
+    jobs: Iterable[Job], results: Mapping[str, Mapping[str, Mapping[str, str]]]
+) -> dict:
+    """Group per-job payloads by experiment across the sweep axes.
+
+    Returns a JSON-shaped mapping::
+
+        {"experiments": {name: {"jobs": [...], "groups": {...},
+                                "distinct_results": N}},
+         "missing": [job ids with no payload]}
+
+    ``groups`` keys are ``"<scenario>@scale=<scale>"`` — the axes the
+    paper varies *deliberately* — and each group records the seeds it
+    covers plus the distinct digests across them (1 means seed-stable).
+    """
+    with obs.span("sweep.aggregate"):
+        experiments: dict[str, dict] = {}
+        missing = []
+        for job in jobs:
+            payload = results.get(job.job_id)
+            if payload is None:
+                missing.append(job.job_id)
+                continue
+            for name, cell in payload.items():
+                entry = experiments.setdefault(
+                    name, {"jobs": [], "groups": {}, "distinct_results": 0}
+                )
+                entry["jobs"].append(
+                    {
+                        "job_id": job.job_id,
+                        "scenario": job.scenario,
+                        "scale": job.scale,
+                        "seed": job.seed,
+                        "sha256": cell["sha256"],
+                    }
+                )
+        for entry in experiments.values():
+            groups: dict[str, dict] = {}
+            for row in entry["jobs"]:
+                key = f"{row['scenario']}@scale={row['scale']:g}"
+                group = groups.setdefault(
+                    key, {"seeds": [], "digests": defaultdict(list)}
+                )
+                group["seeds"].append(row["seed"])
+                group["digests"][row["sha256"]].append(row["seed"])
+            entry["groups"] = {
+                key: {
+                    "seeds": sorted(group["seeds"]),
+                    "distinct": len(group["digests"]),
+                    "digests": {
+                        digest[:12]: sorted(seeds)
+                        for digest, seeds in sorted(group["digests"].items())
+                    },
+                }
+                for key, group in sorted(groups.items())
+            }
+            entry["distinct_results"] = len(
+                {row["sha256"] for row in entry["jobs"]}
+            )
+        return {"experiments": experiments, "missing": sorted(missing)}
+
+
+def render_report(aggregated: dict) -> str:
+    """The ``sweep report`` text: one block per experiment, axis groups."""
+    lines = ["Sweep report", "============"]
+    if not aggregated["experiments"]:
+        lines.append("(no completed jobs)")
+    for name, entry in aggregated["experiments"].items():
+        lines.append("")
+        lines.append(
+            f"{name}: {len(entry['jobs'])} job(s), "
+            f"{entry['distinct_results']} distinct result(s)"
+        )
+        for key, group in entry["groups"].items():
+            seeds = ",".join(str(seed) for seed in group["seeds"])
+            stability = (
+                "seed-stable"
+                if group["distinct"] == 1
+                else f"{group['distinct']} variants across seeds"
+            )
+            lines.append(f"  {key}  seeds [{seeds}]  {stability}")
+            if group["distinct"] > 1:
+                for digest, digest_seeds in group["digests"].items():
+                    seed_list = ",".join(str(s) for s in digest_seeds)
+                    lines.append(f"    {digest}  seeds [{seed_list}]")
+    if aggregated["missing"]:
+        lines.append("")
+        lines.append(
+            f"missing: {len(aggregated['missing'])} job(s) without results"
+        )
+        for job_id in aggregated["missing"]:
+            lines.append(f"  {job_id[:12]}")
+    return "\n".join(lines)
+
+
+def render_status(
+    jobs: Iterable[Job], states: Mapping[str, JobState]
+) -> str:
+    """The ``sweep status`` text: one line per job plus a tally."""
+    jobs = list(jobs)
+    lines = []
+    tally = {"done": 0, "failed": 0, "pending": 0}
+    for job in jobs:
+        state = states.get(job.job_id)
+        status = state.status if state else "pending"
+        tally[status if status in tally else "pending"] += 1
+        experiments = ",".join(job.experiments) or "all"
+        detail = ""
+        if state and state.attempts > 1:
+            detail += f"  attempts={state.attempts}"
+        if state and state.last_error:
+            detail += f"  error={state.last_error}"
+        lines.append(
+            f"{job.job_id[:12]}  {status:<7}  {job.scenario} "
+            f"scale={job.scale:g} seed={job.seed} [{experiments}]{detail}"
+        )
+    lines.append(
+        f"-- {tally['done']} done, {tally['failed']} failed, "
+        f"{tally['pending']} pending of {len(jobs)} job(s)"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,222 @@
+"""The persistent run ledger: append-only JSONL + manifest per sweep.
+
+Every sweep writes its state under ``<ledger root>/<sweep_id>/``:
+
+* ``MANIFEST.json`` — schema version, sweep id/name, creation time and
+  the expanded job table (id + axes), so ``sweep status`` can describe
+  a ledger without re-expanding the spec;
+* ``ledger.jsonl`` — one self-digested record per event (``start``,
+  ``done``, ``attempt_failed``, ``failed``) carrying the attempt
+  number, duration, error text and — for ``done`` — the full result
+  payload.
+
+The digest discipline matches :mod:`repro.datasets.checkpoint`: each
+line embeds ``sha256(canonical(rest of record))``, so a reader detects
+torn writes (a kill mid-append), hand-edits and truncation garbage and
+simply drops those lines — at-least-once execution plus idempotent,
+content-derived job ids make replaying a dropped record safe.  Corrupt
+lines are counted under ``sweep.ledger.corrupt`` in :mod:`repro.obs`.
+
+Execution is *at least once*: a job whose ``done`` record was lost is
+re-run on resume, and re-running is harmless because payloads are pure
+functions of the job's content id (the world build is deterministic per
+(config, scale, seed)).  ``sweep resume`` therefore only needs
+:meth:`RunLedger.completed` to know what to skip.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import logging
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+from repro import obs
+from repro.sweep.spec import SWEEP_SCHEMA_VERSION, Job, SweepSpec
+
+__all__ = ["JobState", "RunLedger", "LEDGER_FILE", "MANIFEST_FILE"]
+
+log = logging.getLogger(__name__)
+
+LEDGER_FILE = "ledger.jsonl"
+MANIFEST_FILE = "MANIFEST.json"
+
+
+def _line_digest(record: Mapping[str, Any]) -> str:
+    body = json.dumps(record, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(body.encode()).hexdigest()
+
+
+@dataclass
+class JobState:
+    """What the ledger knows about one job."""
+
+    job_id: str
+    status: str = "pending"  # pending | running | done | failed
+    attempts: int = 0
+    last_error: str | None = None
+    total_seconds: float = 0.0
+    payload: dict | None = None
+
+
+class RunLedger:
+    """Append-only, digest-verified event log for one sweep."""
+
+    def __init__(self, directory: str | Path):
+        self.directory = Path(directory)
+        self._handle = None
+
+    @classmethod
+    def open(
+        cls, root: str | Path, spec: SweepSpec, jobs: Iterable[Job]
+    ) -> "RunLedger":
+        """Open (creating if needed) the ledger for ``spec`` under ``root``."""
+        jobs = list(jobs)
+        ledger = cls(Path(root) / spec.sweep_id)
+        ledger.directory.mkdir(parents=True, exist_ok=True)
+        manifest_path = ledger.directory / MANIFEST_FILE
+        if manifest_path.is_file():
+            try:
+                manifest = json.loads(manifest_path.read_text())
+            except ValueError:
+                manifest = {}
+            if manifest.get("sweep_id") not in (None, spec.sweep_id) or (
+                manifest.get("schema_version") not in (None, SWEEP_SCHEMA_VERSION)
+            ):
+                raise ValueError(
+                    f"ledger at {ledger.directory} belongs to another sweep "
+                    f"or schema (manifest: {manifest.get('sweep_id', '?')[:12]})"
+                )
+        else:
+            manifest_path.write_text(
+                json.dumps(
+                    {
+                        "schema_version": SWEEP_SCHEMA_VERSION,
+                        "sweep_id": spec.sweep_id,
+                        "name": spec.name,
+                        "created": time.time(),
+                        "n_jobs": len(jobs),
+                        "jobs": [
+                            {"job_id": job.job_id, **job.axes()} for job in jobs
+                        ],
+                    },
+                    indent=1,
+                    sort_keys=True,
+                )
+            )
+        return ledger
+
+    # -- writing -------------------------------------------------------------
+
+    def append(self, event: str, job_id: str, attempt: int, **fields: Any) -> None:
+        """Append one event record (flushed immediately, digest embedded)."""
+        record = {
+            "event": event,
+            "job_id": job_id,
+            "attempt": attempt,
+            "ts": time.time(),
+            **{k: v for k, v in fields.items() if v is not None},
+        }
+        record["sha256"] = _line_digest(record)
+        if self._handle is None:
+            self._handle = (self.directory / LEDGER_FILE).open(
+                "a", encoding="utf-8"
+            )
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "RunLedger":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- reading -------------------------------------------------------------
+
+    def records(self) -> list[dict]:
+        """All verifiable records, in write order; corrupt lines dropped."""
+        path = self.directory / LEDGER_FILE
+        if not path.is_file():
+            return []
+        records = []
+        corrupt = 0
+        with path.open(encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                    expected = record.pop("sha256")
+                except (ValueError, KeyError, TypeError, AttributeError):
+                    corrupt += 1
+                    continue
+                if not isinstance(record, dict) or _line_digest(record) != expected:
+                    corrupt += 1
+                    continue
+                records.append(record)
+        if corrupt:
+            log.warning(
+                "ledger %s: dropped %d corrupt line(s); the affected jobs "
+                "will re-run on resume",
+                self.directory,
+                corrupt,
+            )
+            obs.add("sweep.ledger.corrupt", corrupt)
+        return records
+
+    def job_states(self) -> dict[str, JobState]:
+        """Fold the event log into one state per job id."""
+        states: dict[str, JobState] = {}
+        for record in self.records():
+            job_id = record.get("job_id")
+            if not isinstance(job_id, str):
+                continue
+            state = states.setdefault(job_id, JobState(job_id))
+            event = record.get("event")
+            if event == "start":
+                state.status = "running"
+                state.attempts = max(state.attempts, record.get("attempt", 0))
+            elif event == "done":
+                state.status = "done"
+                state.payload = record.get("payload")
+                state.last_error = None
+                state.total_seconds += record.get("duration", 0.0)
+            elif event in ("attempt_failed", "failed"):
+                if event == "failed" or state.status != "done":
+                    state.status = (
+                        "failed" if event == "failed" else state.status
+                    )
+                state.last_error = record.get("error")
+                state.total_seconds += record.get("duration", 0.0)
+        for state in states.values():
+            if state.status == "running":
+                # A start without a terminal record: the process died
+                # mid-attempt.  Resume treats it as pending.
+                state.status = "pending"
+        return states
+
+    def completed(self) -> dict[str, dict]:
+        """Payloads of every job with a verified ``done`` record."""
+        return {
+            job_id: state.payload
+            for job_id, state in self.job_states().items()
+            if state.status == "done" and state.payload is not None
+        }
+
+    def manifest(self) -> dict:
+        """The sweep manifest (empty mapping when unreadable)."""
+        path = self.directory / MANIFEST_FILE
+        try:
+            manifest = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return {}
+        return manifest if isinstance(manifest, dict) else {}

@@ -1,0 +1,388 @@
+"""Declarative sweep specifications and their expansion into jobs.
+
+A :class:`SweepSpec` names a grid of build inputs — scales, seeds,
+scenario variants (dotted-path overrides of :class:`ScenarioConfig`) and
+experiment subsets — plus runtime policy (workers, per-job timeout,
+retry budget).  :meth:`SweepSpec.expand` takes the cartesian product of
+the axes (plus any explicitly listed jobs) and yields deterministic
+:class:`Job` records whose ids are content-derived: the same (overrides,
+scale, seed, experiments) tuple hashes to the same id in every process,
+which is what lets the run ledger recognise completed work across
+restarts.
+
+The JSON spec format (see ``examples/sweep_smoke.json``)::
+
+    {
+      "name": "demo",
+      "axes": {
+        "scale": [0.05, 0.1],
+        "seed": [1, 2, 3],
+        "scenario": [
+          {"label": "baseline"},
+          {"label": "no-deagg",
+           "overrides": {"origination.deaggregation_probability": 0.0}}
+        ],
+        "experiments": [["fig5", "f83"], ["fig7"]]
+      },
+      "jobs": [
+        {"scale": 0.2, "seed": 9, "experiments": ["tab2"]}
+      ],
+      "workers": 4, "timeout": 600, "max_attempts": 2, "backoff": 0.5
+    }
+
+``axes.experiments`` may be a flat list (one subset shared by every
+grid job), a list of lists (an extra axis: one job per subset), or
+absent (every registry experiment).  Override paths walk dataclass
+attributes and string dict keys; values are coerced to the type already
+at the path (ISO strings for dates, lists for tuples).  Unknown
+experiment names and unresolvable override paths fail at parse time
+with the valid choices listed, not inside a worker.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from datetime import date
+from itertools import product
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+from repro.datasets.checkpoint import content_key
+from repro.experiments.registry import select
+from repro.scenario.config import ScenarioConfig
+
+__all__ = [
+    "SWEEP_SCHEMA_VERSION",
+    "Job",
+    "SweepSpec",
+    "SweepSpecError",
+    "apply_overrides",
+    "job_id_for",
+]
+
+#: Bumped when job identity inputs or the ledger record layout change;
+#: part of every job id and ledger manifest, so schema skew reads as
+#: "different sweep", never as silently-reusable state.
+SWEEP_SCHEMA_VERSION = 1
+
+
+class SweepSpecError(ValueError):
+    """A sweep spec (or one of its override paths) is invalid."""
+
+
+# -- scenario overrides ------------------------------------------------------
+
+
+def _coerce(current: Any, value: Any, path: str) -> Any:
+    """Coerce a JSON-shaped override value to the type already at ``path``."""
+    if isinstance(current, date) and isinstance(value, str):
+        try:
+            return date.fromisoformat(value)
+        except ValueError as error:
+            raise SweepSpecError(f"{path}: {error}") from None
+    if isinstance(current, tuple) and isinstance(value, list):
+        return tuple(value)
+    if isinstance(current, float) and isinstance(value, int):
+        return float(value)
+    if current is not None and not isinstance(value, type(current)):
+        if not (isinstance(current, (int, float)) and isinstance(value, (int, float))):
+            raise SweepSpecError(
+                f"override {path}: expected {type(current).__name__}, "
+                f"got {type(value).__name__}"
+            )
+    return value
+
+
+def _apply_one(config: ScenarioConfig, path: str, value: Any) -> None:
+    """Set one dotted-path override, rebuilding frozen parents as needed."""
+    parts = path.split(".")
+    chain: list[Any] = [config]
+    for part in parts[:-1]:
+        node = chain[-1]
+        if isinstance(node, dict):
+            if part not in node:
+                raise SweepSpecError(
+                    f"override {path}: no key {part!r} "
+                    f"(valid: {sorted(map(str, node))})"
+                )
+            chain.append(node[part])
+        elif dataclasses.is_dataclass(node) and hasattr(node, part):
+            chain.append(getattr(node, part))
+        else:
+            raise SweepSpecError(
+                f"override {path}: cannot descend into {part!r} "
+                f"on {type(node).__name__}"
+            )
+    leaf = parts[-1]
+    node = chain[-1]
+    if isinstance(node, dict):
+        if leaf not in node:
+            raise SweepSpecError(
+                f"override {path}: no key {leaf!r} "
+                f"(valid: {sorted(map(str, node))})"
+            )
+        node[leaf] = _coerce(node[leaf], value, path)
+        return
+    if not (dataclasses.is_dataclass(node) and hasattr(node, leaf)):
+        raise SweepSpecError(
+            f"override {path}: {type(node).__name__} has no field {leaf!r}"
+        )
+    updated = _coerce(getattr(node, leaf), value, path)
+    # Frozen dataclasses (RegistrationBehavior, FilteringBehavior…) are
+    # rebuilt with replace() and the new instance is written back into
+    # the nearest mutable ancestor (ScenarioConfig and its sub-configs
+    # are mutable, as are the dicts between them).
+    while True:
+        try:
+            setattr(node, leaf, updated)
+            return
+        except dataclasses.FrozenInstanceError:
+            updated = dataclasses.replace(node, **{leaf: updated})
+            chain.pop()
+            leaf = parts[len(chain) - 1]
+            node = chain[-1]
+            if isinstance(node, dict):
+                node[leaf] = updated
+                return
+
+
+def apply_overrides(
+    overrides: Mapping[str, Any], config: ScenarioConfig | None = None
+) -> ScenarioConfig:
+    """A :class:`ScenarioConfig` with dotted-path ``overrides`` applied.
+
+    Paths are applied in sorted order (deterministic when one path
+    prefixes another); a fresh default config is used when ``config`` is
+    None.  Invalid paths raise :class:`SweepSpecError` naming the valid
+    siblings.
+    """
+    config = config if config is not None else ScenarioConfig()
+    for path in sorted(overrides):
+        _apply_one(config, path, overrides[path])
+    return config
+
+
+# -- jobs --------------------------------------------------------------------
+
+
+def job_id_for(
+    overrides: Mapping[str, Any],
+    scale: float,
+    seed: int,
+    experiments: tuple[str, ...],
+) -> str:
+    """The stable content-derived id of one job.
+
+    Derived from the build inputs only — the scenario *label* is
+    presentation, so relabelling a variant does not orphan its ledger
+    records.
+    """
+    return content_key(
+        {
+            "schema_version": SWEEP_SCHEMA_VERSION,
+            "overrides": {str(k): overrides[k] for k in sorted(overrides)},
+            "scale": scale,
+            "seed": seed,
+            "experiments": list(experiments),
+        },
+        kind="sweep-job",
+    )
+
+
+@dataclass(frozen=True)
+class Job:
+    """One (scenario overrides, scale, seed, experiment subset) work unit."""
+
+    job_id: str
+    scenario: str
+    overrides: Mapping[str, Any] = field(repr=False)
+    scale: float = 1.0
+    seed: int = 0
+    experiments: tuple[str, ...] = ()
+
+    def config(self) -> ScenarioConfig | None:
+        """The job's scenario config; None means the shared default."""
+        if not self.overrides:
+            return None
+        return apply_overrides(self.overrides)
+
+    def axes(self) -> dict[str, Any]:
+        """The job's coordinates, as the ledger and reports record them."""
+        return {
+            "scenario": self.scenario,
+            "scale": self.scale,
+            "seed": self.seed,
+            "experiments": list(self.experiments),
+        }
+
+
+def _make_job(
+    scenario_label: str,
+    overrides: Mapping[str, Any],
+    scale: float,
+    seed: int,
+    experiments: tuple[str, ...],
+) -> Job:
+    return Job(
+        job_id=job_id_for(overrides, scale, seed, experiments),
+        scenario=scenario_label,
+        overrides=dict(overrides),
+        scale=scale,
+        seed=seed,
+        experiments=experiments,
+    )
+
+
+# -- the spec ----------------------------------------------------------------
+
+
+@dataclass
+class SweepSpec:
+    """A declarative sweep: grid axes, explicit jobs, runtime policy."""
+
+    name: str = "sweep"
+    scales: tuple[float, ...] = (1.0,)
+    seeds: tuple[int, ...] = (0,)
+    #: ``(label, overrides)`` pairs; the default is one baseline variant.
+    scenarios: tuple[tuple[str, Mapping[str, Any]], ...] = (("baseline", {}),)
+    #: One experiment subset per grid job; ``()`` inside means "all".
+    experiment_sets: tuple[tuple[str, ...], ...] = ((),)
+    #: Explicit extra jobs outside the grid.
+    extra: tuple[Job, ...] = ()
+    workers: int | None = None
+    #: Per-attempt wall-clock budget in seconds (0 disables the alarm).
+    timeout: float = 600.0
+    #: Attempts per job (1 = no retries).
+    max_attempts: int = 2
+    #: Base retry delay; attempt ``n`` waits ``backoff * 2**(n-1)``.
+    backoff: float = 0.25
+
+    def __post_init__(self) -> None:
+        if not self.scales or not self.seeds or not self.scenarios:
+            raise SweepSpecError("axes must be non-empty")
+        if self.max_attempts < 1:
+            raise SweepSpecError("max_attempts must be >= 1")
+        for label, overrides in self.scenarios:
+            apply_overrides(overrides)  # validate paths at parse time
+            del label
+        for names in self.experiment_sets:
+            _validate_experiments(names)
+        for job in self.extra:
+            _validate_experiments(job.experiments)
+            apply_overrides(job.overrides)
+
+    @property
+    def sweep_id(self) -> str:
+        """Content id of the *work*, stable across runtime-policy changes.
+
+        Workers/timeout/retry knobs are deliberately excluded: resuming
+        with more workers or a longer timeout must find the same ledger.
+        """
+        return content_key(
+            {
+                "schema_version": SWEEP_SCHEMA_VERSION,
+                "jobs": sorted(job.job_id for job in self.expand()),
+            },
+            kind="sweep",
+        )
+
+    def expand(self) -> tuple[Job, ...]:
+        """All jobs, grid order (scenario × scale × seed × experiments)."""
+        jobs: dict[str, Job] = {}
+        for (label, overrides), scale, seed, names in product(
+            self.scenarios, self.scales, self.seeds, self.experiment_sets
+        ):
+            job = _make_job(label, overrides, scale, seed, names)
+            jobs.setdefault(job.job_id, job)
+        for job in self.extra:
+            jobs.setdefault(job.job_id, job)
+        return tuple(jobs.values())
+
+    # -- parsing -------------------------------------------------------------
+
+    @classmethod
+    def from_mapping(cls, data: Mapping[str, Any]) -> SweepSpec:
+        """Parse the JSON-shaped spec mapping (see the module docstring)."""
+        if not isinstance(data, Mapping):
+            raise SweepSpecError("spec must be a JSON object")
+        known = {
+            "name", "axes", "jobs", "workers", "timeout",
+            "max_attempts", "backoff",
+        }
+        unknown = set(data) - known
+        if unknown:
+            raise SweepSpecError(
+                f"unknown spec key(s) {sorted(unknown)}; "
+                f"choose from {sorted(known)}"
+            )
+        axes = data.get("axes", {})
+        scenarios = []
+        for i, entry in enumerate(axes.get("scenario", [{}])):
+            overrides = dict(entry.get("overrides", {}))
+            label = entry.get("label") or (f"variant{i}" if overrides else "baseline")
+            scenarios.append((label, overrides))
+        extra = tuple(
+            _make_job(
+                entry.get("scenario", "explicit"),
+                dict(entry.get("overrides", {})),
+                float(entry.get("scale", 1.0)),
+                int(entry.get("seed", 0)),
+                _experiment_tuple(entry.get("experiments", [])),
+            )
+            for entry in data.get("jobs", [])
+        )
+        try:
+            return cls(
+                name=str(data.get("name", "sweep")),
+                scales=tuple(float(s) for s in axes.get("scale", [1.0])),
+                seeds=tuple(int(s) for s in axes.get("seed", [0])),
+                scenarios=tuple(scenarios),
+                experiment_sets=_experiment_sets(axes.get("experiments")),
+                extra=extra,
+                workers=data.get("workers"),
+                timeout=float(data.get("timeout", 600.0)),
+                max_attempts=int(data.get("max_attempts", 2)),
+                backoff=float(data.get("backoff", 0.25)),
+            )
+        except (TypeError, ValueError) as error:
+            if isinstance(error, SweepSpecError):
+                raise
+            raise SweepSpecError(str(error)) from None
+
+    @classmethod
+    def from_file(cls, path: str | Path) -> SweepSpec:
+        """Load a spec from a JSON file."""
+        try:
+            data = json.loads(Path(path).read_text())
+        except OSError as error:
+            raise SweepSpecError(f"cannot read spec {path}: {error}") from None
+        except ValueError as error:
+            raise SweepSpecError(f"spec {path} is not valid JSON: {error}") from None
+        return cls.from_mapping(data)
+
+
+def _experiment_tuple(names: Iterable[str]) -> tuple[str, ...]:
+    return tuple(str(name) for name in names)
+
+
+def _experiment_sets(raw: Any) -> tuple[tuple[str, ...], ...]:
+    if raw is None:
+        return ((),)
+    if not isinstance(raw, list):
+        raise SweepSpecError("axes.experiments must be a list")
+    if all(isinstance(item, list) for item in raw):
+        return tuple(_experiment_tuple(item) for item in raw) or ((),)
+    if any(isinstance(item, list) for item in raw):
+        raise SweepSpecError(
+            "axes.experiments mixes names and lists; use one or the other"
+        )
+    return (_experiment_tuple(raw),)
+
+
+def _validate_experiments(names: tuple[str, ...]) -> None:
+    try:
+        select(names or None)
+    except KeyError as error:
+        raise SweepSpecError(error.args[0]) from None

@@ -41,6 +41,18 @@ class TestParser:
         )
         assert args.sub_prefix and args.protected
 
+    def test_sweep_run_flags(self):
+        args = build_parser().parse_args(
+            ["sweep", "run", "spec.json", "--workers", "3", "--timeout", "9"]
+        )
+        assert args.command == "sweep" and args.sweep_command == "run"
+        assert args.spec == "spec.json"
+        assert args.workers == 3 and args.timeout == 9.0
+
+    def test_sweep_requires_verb(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep"])
+
 
 class TestCommands:
     ARGS = ["--scale", "0.06", "--seed", "3"]
@@ -90,6 +102,12 @@ class TestCommands:
         err = capsys.readouterr().err
         assert "fig99" in err
 
+    def test_reproduce_list_prints_registry(self, capsys):
+        assert main(["reproduce", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "paper ref" in out
+        assert "fig5" in out and "Figure 5" in out
+
     def test_ready_known_as(self, capsys):
         assert main(self.ARGS + ["ready", "100"]) == 0
         out = capsys.readouterr().out
@@ -117,6 +135,71 @@ class TestJsonOutput:
         payload = json.loads(capsys.readouterr().out)
         assert payload["asn"] == 100
         assert set(payload) >= {"ready", "action4", "action1", "blockers"}
+
+
+class TestSweepCli:
+    @pytest.fixture
+    def spec_file(self, tmp_path, monkeypatch):
+        """A 2-job sweep spec with the cache dir pointed at tmp_path."""
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        monkeypatch.delenv("REPRO_SWEEP_FAIL_JOBS", raising=False)
+        path = tmp_path / "spec.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "name": "cli-smoke",
+                    "axes": {
+                        "scale": [0.05],
+                        "seed": [1, 2],
+                        "experiments": ["fig4"],
+                    },
+                    "workers": 2,
+                    "timeout": 120,
+                    "max_attempts": 1,
+                }
+            )
+        )
+        return path
+
+    def test_run_status_resume_report(self, capsys, spec_file):
+        assert main(["sweep", "run", str(spec_file)]) == 0
+        out = capsys.readouterr().out
+        assert "2/2 done" in out and "ledger:" in out
+
+        assert main(["sweep", "status", str(spec_file)]) == 0
+        out = capsys.readouterr().out
+        assert "-- 2 done, 0 failed, 0 pending of 2 job(s)" in out
+
+        assert main(["sweep", "resume", str(spec_file)]) == 0
+        assert "(2 skipped" in capsys.readouterr().out
+
+        assert main(["sweep", "report", str(spec_file)]) == 0
+        out = capsys.readouterr().out
+        assert "Sweep report" in out and "fig4: 2 job(s)" in out
+
+    def test_report_before_run_flags_missing(self, capsys, spec_file):
+        assert main(["sweep", "report", str(spec_file)]) == 1
+        assert "missing: 2 job(s)" in capsys.readouterr().out
+
+    def test_sweep_list(self, capsys):
+        assert main(["sweep", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "paper ref" in out and "fig4" in out
+
+    def test_requires_cache_dir(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        spec = tmp_path / "spec.json"
+        spec.write_text("{}")
+        assert main(["sweep", "run", str(spec)]) == 2
+        assert "REPRO_CACHE_DIR" in capsys.readouterr().err
+
+    def test_invalid_spec_exits_2(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        spec = tmp_path / "bad.json"
+        spec.write_text(json.dumps({"axes": {"experiments": ["fig99"]}}))
+        assert main(["sweep", "run", str(spec)]) == 2
+        err = capsys.readouterr().err
+        assert "invalid sweep spec" in err and "fig99" in err
 
 
 class TestTraceJson:

@@ -13,6 +13,7 @@ import pytest
 
 from repro.experiments import REGISTRY, ExperimentSpec, select
 from repro.experiments import common
+from repro.experiments.registry import registry_table
 
 #: The registry's names, in the paper's presentation order.  A new
 #: experiment extends this list; renaming or reordering an existing one
@@ -54,6 +55,24 @@ class TestRegistryShape:
     def test_titles_unique(self):
         titles = [spec.title for spec in REGISTRY.values()]
         assert len(set(titles)) == len(titles)
+
+
+class TestRegistryTable:
+    def test_one_row_per_experiment(self):
+        table = registry_table()
+        lines = table.splitlines()
+        assert lines[0].split() == ["name", "title", "paper", "ref"]
+        assert len(lines) == 2 + len(REGISTRY)  # header + rule + rows
+
+    def test_rows_carry_name_title_and_ref(self):
+        table = registry_table()
+        for name, spec in REGISTRY.items():
+            row = next(
+                line for line in table.splitlines()
+                if line.startswith(f"{name} ")
+            )
+            assert spec.title in row
+            assert spec.paper_ref in row
 
 
 class TestSelect:
