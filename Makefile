@@ -10,7 +10,7 @@ SCALE ?= 1.0
 LABEL ?= local
 SMOKE_BUDGET ?= 120
 
-.PHONY: test lint bench bench-pytest profile smoke-profile trace-smoke sweep-smoke
+.PHONY: test lint bench bench-pytest bench-smoke profile smoke-profile trace-smoke sweep-smoke
 
 ## Tier-1 test suite (unit + integration + equivalence).
 test:
@@ -40,6 +40,11 @@ bench:
 ## Paper-analysis benchmarks (pytest-benchmark; one per table/figure).
 bench-pytest:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+## Kernel-parity tripwire: a scale-0.1 world must be digest-identical
+## under REPRO_KERNELS=python and =numpy (uncached builds, both modes).
+bench-smoke:
+	$(PYTHON) scripts/check_kernel_parity.py --scale 0.1
 
 ## Stage-level wall-clock breakdown of one full-scale build.
 profile:

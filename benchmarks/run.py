@@ -13,6 +13,7 @@ Usage::
     PYTHONPATH=src python benchmarks/run.py --label pr1 --jobs 4
     PYTHONPATH=src python benchmarks/run.py --smoke --budget 60    # CI gate
     PYTHONPATH=src python benchmarks/run.py --experiments          # + registry
+    PYTHONPATH=src python benchmarks/run.py --kernels              # + per-kernel
     PYTHONPATH=src python benchmarks/run.py --sweep                # + orchestrator
 
 ``--experiments`` additionally times every experiment in
@@ -55,7 +56,7 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from repro import obs  # noqa: E402
+from repro import kernels, obs  # noqa: E402
 from repro.experiments.registry import REGISTRY  # noqa: E402
 from repro.scenario.build import build_world  # noqa: E402
 from repro.scenario.timeline import Timeline  # noqa: E402
@@ -190,6 +191,112 @@ def run_sweep_bench(sweep_scale: float, max_workers: int) -> dict:
     return result
 
 
+def run_kernels(
+    scale: float, seed: int, jobs: int | None, rounds: int
+) -> dict[str, dict]:
+    """Per-kernel microbenchmarks: python vs numpy on one built world.
+
+    Each kernel is timed through the public API it sits behind, with the
+    relevant memo/index state reset per round so every round pays the
+    real bulk-path cost (index construction included — each mode builds
+    its own lookup structure, so that cost is part of the comparison).
+    Both modes' outputs are compared for equality and the verdict is
+    recorded next to the timings.
+    """
+    import os
+
+    from repro.bgp.policy import RouteClass
+    from repro.bgp.propagation import PropagationEngine
+    from repro.ihr.pipeline import build_ihr_dataset
+    from repro.irr.validation import validate_irr_many
+    from repro.rpki.rov import ROVValidator
+    from repro.rpki.validator import RelyingParty
+
+    world = build_world(scale=scale, seed=seed, jobs=jobs)
+    vrps = RelyingParty(world.rpki_repository).validate(
+        world.snapshot_date
+    ).vrps
+    routes = [
+        (origination.prefix, asn)
+        for asn in sorted(world.originations)
+        for origination in world.originations[asn]
+    ]
+    route_class = RouteClass(rpki_invalid=False, irr_invalid=False)
+    paths_keys = [(group.origin, route_class) for group in world.rib.groups]
+
+    def _reset_irr() -> None:
+        world.irr.__dict__.pop("_validation_memo", None)
+        world.irr.__dict__.pop("_interval_index", None)
+
+    def bench_rov() -> object:
+        return ROVValidator(vrps).validate_many(routes)
+
+    def bench_irr() -> object:
+        _reset_irr()
+        return validate_irr_many(world.irr, routes)
+
+    def bench_saturation() -> object:
+        timeline = Timeline(world)
+        return timeline.saturation_series()
+
+    def bench_ihr() -> object:
+        _reset_irr()
+        return build_ihr_dataset(
+            world.rib, ROVValidator(vrps), world.irr, world.topology
+        )
+
+    def bench_propagation() -> object:
+        engine = PropagationEngine(world.topology, world.policies)
+        engine.ensure_cache_capacity(len(paths_keys))
+        if kernels.use_numpy():
+            return engine.paths_to_many(paths_keys, world.vantage_points)
+        return [
+            engine.paths_to(origin, world.vantage_points, rc)
+            for origin, rc in paths_keys
+        ]
+
+    cases = {
+        "rov_classify": bench_rov,
+        "irr_classify": bench_irr,
+        "timeline_saturation": bench_saturation,
+        "ihr_pipeline": bench_ihr,
+        "propagation_paths": bench_propagation,
+    }
+    previous = os.environ.get("REPRO_KERNELS")
+    results: dict[str, dict] = {}
+    try:
+        for name, fn in cases.items():
+            per_mode: dict[str, dict] = {}
+            outputs: dict[str, object] = {}
+            for mode in ("python", "numpy"):
+                os.environ["REPRO_KERNELS"] = mode
+                samples: list[float] = []
+                for _ in range(rounds):
+                    start = time.perf_counter()
+                    outputs[mode] = fn()
+                    samples.append(time.perf_counter() - start)
+                per_mode[mode] = summarize(samples)
+            results[name] = {
+                **per_mode,
+                "speedup": per_mode["python"]["mean"]
+                / per_mode["numpy"]["mean"],
+                "equal": outputs["python"] == outputs["numpy"],
+            }
+            print(
+                f"kernel {name}: python={per_mode['python']['mean']:.3f}s "
+                f"numpy={per_mode['numpy']['mean']:.3f}s "
+                f"({results[name]['speedup']:.2f}x, "
+                f"equal={results[name]['equal']})",
+                file=sys.stderr,
+            )
+    finally:
+        if previous is None:
+            os.environ.pop("REPRO_KERNELS", None)
+        else:
+            os.environ["REPRO_KERNELS"] = previous
+    return results
+
+
 def git_rev() -> str:
     try:
         out = subprocess.run(
@@ -285,6 +392,11 @@ def main(argv: list[str] | None = None) -> int:
         help="also time every registry experiment on one built world",
     )
     parser.add_argument(
+        "--kernels",
+        action="store_true",
+        help="also microbenchmark each columnar kernel (python vs numpy)",
+    )
+    parser.add_argument(
         "--smoke",
         action="store_true",
         help="one round at scale 0.3; exit 1 if end-to-end exceeds --budget",
@@ -343,6 +455,11 @@ def main(argv: list[str] | None = None) -> int:
         if args.experiments
         else None
     )
+    kernel_benchmarks = (
+        run_kernels(scale, args.seed, args.jobs, rounds)
+        if args.kernels
+        else None
+    )
     payload = {
         "label": args.label,
         "scale": scale,
@@ -361,6 +478,8 @@ def main(argv: list[str] | None = None) -> int:
         payload["warm_start"] = warm_start
     if experiments is not None:
         payload["experiments"] = experiments
+    if kernel_benchmarks is not None:
+        payload["kernels"] = kernel_benchmarks
     if sweep is not None:
         payload["sweep"] = sweep
     out_path = args.output_dir / f"BENCH_{args.label}.json"

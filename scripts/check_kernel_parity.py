@@ -1,0 +1,70 @@
+"""Kernel-parity smoke: one world, both kernel modes, identical digests.
+
+Builds the same (scale, seed) world twice — once with the pure-Python
+reference paths (``REPRO_KERNELS=python``) and once with the columnar
+numpy kernels (``REPRO_KERNELS=numpy``) — bypassing every cache, and
+fails unless the two worlds hash to the same digest.  Prints both build
+times so the run doubles as a coarse kernel benchmark.
+
+Usage::
+
+    PYTHONPATH=src python scripts/check_kernel_parity.py --scale 0.1
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.datasets.checkpoint import world_digest  # noqa: E402
+from repro.scenario.build import _build_world  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=0.1)
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args(argv)
+
+    digests: dict[str, str] = {}
+    timings: dict[str, float] = {}
+    previous = os.environ.get("REPRO_KERNELS")
+    try:
+        for mode in ("python", "numpy"):
+            os.environ["REPRO_KERNELS"] = mode
+            start = time.perf_counter()
+            world = _build_world(args.scale, args.seed, None, None, None, None)
+            timings[mode] = time.perf_counter() - start
+            digests[mode] = world_digest(world)
+            print(
+                f"{mode}: {timings[mode]:.3f}s digest={digests[mode][:16]}…",
+                file=sys.stderr,
+            )
+    finally:
+        if previous is None:
+            os.environ.pop("REPRO_KERNELS", None)
+        else:
+            os.environ["REPRO_KERNELS"] = previous
+
+    if digests["python"] != digests["numpy"]:
+        print(
+            "KERNEL PARITY FAIL: python and numpy worlds diverge\n"
+            f"  python: {digests['python']}\n"
+            f"  numpy:  {digests['numpy']}",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"kernel parity OK at scale {args.scale} seed {args.seed} "
+        f"({timings['python'] / timings['numpy']:.2f}x numpy speedup)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

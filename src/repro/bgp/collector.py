@@ -31,7 +31,7 @@ from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 
-from repro import obs
+from repro import kernels, obs
 from repro.bgp.announcement import Announcement, RibEntry
 from repro.bgp.policy import RouteClass
 from repro.bgp.propagation import PropagationEngine
@@ -188,14 +188,21 @@ def collect_rib(
     obs.gauge("collect.jobs", jobs)
     obs.gauge("collect.vantage_points", len(vantage_points))
     obs.annotate(groups=len(keys), jobs=jobs)
+    # Size the propagation memo to this snapshot's working set before any
+    # lookups (and before workers inherit the engine), so one snapshot's
+    # groups never evict each other.
+    engine.ensure_cache_capacity(len(keys))
     paths_by_key = None
     if jobs > 1 and len(keys) >= MIN_PARALLEL_GROUPS:
         paths_by_key = _parallel_paths(engine, keys, vantage_points, jobs)
     if paths_by_key is None:
-        paths_by_key = [
-            engine.paths_to(origin, vantage_points, route_class)
-            for origin, route_class in keys
-        ]
+        if kernels.use_numpy():
+            paths_by_key = engine.paths_to_many(keys, vantage_points)
+        else:
+            paths_by_key = [
+                engine.paths_to(origin, vantage_points, route_class)
+                for origin, route_class in keys
+            ]
     obs.add(
         "collect.routes_propagated",
         sum(len(paths) for paths in paths_by_key),

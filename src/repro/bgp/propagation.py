@@ -41,6 +41,7 @@ Two fast paths keep full-table collection affordable:
 
 from __future__ import annotations
 
+import os
 from collections import OrderedDict, defaultdict
 from dataclasses import dataclass
 from enum import IntEnum
@@ -49,6 +50,7 @@ from typing import Iterable, Mapping
 from repro import obs
 from repro.bgp.policy import ASPolicy, RouteClass, covers_session
 from repro.errors import TopologyError
+from repro.kernels.csr import CollectionPlan, batch_paths
 from repro.topology.model import ASTopology
 
 __all__ = ["RouteKind", "Route", "PropagationEngine"]
@@ -56,7 +58,12 @@ __all__ = ["RouteKind", "Route", "PropagationEngine"]
 _DEFAULT_POLICY = ASPolicy()
 
 #: Default bound on the per-engine ``paths_to`` memo (entries, not bytes;
-#: each entry holds one path tuple per vantage point).
+#: each entry holds one path tuple per vantage point).  The default is a
+#: floor, not a ceiling: collection grows it to the observed route-group
+#: count (see :meth:`PropagationEngine.ensure_cache_capacity`) so one
+#: snapshot's working set never thrashes the memo.  An explicit
+#: ``paths_cache_size`` argument or a ``REPRO_PATHS_CACHE`` environment
+#: value pins the bound instead.
 DEFAULT_PATHS_CACHE_SIZE = 8192
 
 
@@ -131,7 +138,7 @@ class PropagationEngine:
         self,
         topology: ASTopology,
         policies: Mapping[int, ASPolicy] | None = None,
-        paths_cache_size: int = DEFAULT_PATHS_CACHE_SIZE,
+        paths_cache_size: int | None = None,
     ):
         self._topology = topology
         policies = policies or {}
@@ -146,7 +153,19 @@ class PropagationEngine:
             self._customers[asn] = tuple(sorted(topology.customers_of(asn)))
             self._peers[asn] = tuple(sorted(topology.peers_of(asn)))
             self._policies[asn] = policies.get(asn, _DEFAULT_POLICY)
-        self._paths_cache_size = paths_cache_size
+        # An explicit size (argument or REPRO_PATHS_CACHE) is pinned;
+        # otherwise the default acts as a floor that collection may grow.
+        if paths_cache_size is None:
+            env = os.environ.get("REPRO_PATHS_CACHE", "")
+            if env:
+                self._paths_cache_size = int(env)
+                self._cache_pinned = True
+            else:
+                self._paths_cache_size = DEFAULT_PATHS_CACHE_SIZE
+                self._cache_pinned = False
+        else:
+            self._paths_cache_size = paths_cache_size
+            self._cache_pinned = True
         self._init_caches()
 
     def _init_caches(self) -> None:
@@ -154,12 +173,16 @@ class PropagationEngine:
         self._class_filters: dict[tuple[bool, bool], _ClassFilters] = {}
         # canonical signature → small interned id shared by equal classes
         self._signature_ids: dict[tuple, int] = {}
+        # route class (as a bit pair) → interned id; avoids rehashing the
+        # (potentially huge) signature tuple on every paths_to call
+        self._class_sig_ids: dict[tuple[bool, bool], int] = {}
         # (origin, signature id, vantage tuple) → paths mapping
         self._paths_cache: OrderedDict[tuple, dict[int, tuple[int, ...]]] = (
             OrderedDict()
         )
         self._cache_hits = 0
         self._cache_misses = 0
+        self._cache_evictions = 0
         # target tuple → its transitive provider closure (see _closure_of)
         self._target_closures: dict[tuple[int, ...], frozenset[int]] = {}
         # target tuple → provider-first ordering of the closure, or None
@@ -167,6 +190,8 @@ class PropagationEngine:
         self._target_orders: dict[
             tuple[int, ...], tuple[int, ...] | None
         ] = {}
+        # vantage tuple → frozen batch-collection slot arrays
+        self._batch_plans: dict[tuple[int, ...], CollectionPlan] = {}
 
     def __getstate__(self) -> dict:
         # Workers rebuild caches locally; shipping a warm memo would bloat
@@ -175,11 +200,14 @@ class PropagationEngine:
         for transient in (
             "_class_filters",
             "_signature_ids",
+            "_class_sig_ids",
             "_paths_cache",
             "_cache_hits",
             "_cache_misses",
+            "_cache_evictions",
             "_target_closures",
             "_target_orders",
+            "_batch_plans",
         ):
             state.pop(transient, None)
         return state
@@ -245,21 +273,38 @@ class PropagationEngine:
         two classes when no AS filters at all), so they share memoised
         results.
         """
-        signature = self.class_filters(route_class).signature
-        sig_id = self._signature_ids.get(signature)
+        key = (route_class.rpki_invalid, route_class.irr_invalid)
+        sig_id = self._class_sig_ids.get(key)
         if sig_id is None:
-            sig_id = len(self._signature_ids)
-            self._signature_ids[signature] = sig_id
+            signature = self.class_filters(route_class).signature
+            sig_id = self._signature_ids.get(signature)
+            if sig_id is None:
+                sig_id = len(self._signature_ids)
+                self._signature_ids[signature] = sig_id
+            self._class_sig_ids[key] = sig_id
         return sig_id
 
     def cache_info(self) -> dict[str, int]:
-        """Hit/miss/size counters of the ``paths_to`` memo."""
+        """Hit/miss/eviction/size counters of the ``paths_to`` memo."""
         return {
             "hits": self._cache_hits,
             "misses": self._cache_misses,
+            "evictions": self._cache_evictions,
             "size": len(self._paths_cache),
             "max_size": self._paths_cache_size,
         }
+
+    def ensure_cache_capacity(self, entries: int) -> None:
+        """Grow the ``paths_to`` memo bound to at least ``entries``.
+
+        Collection calls this with the route-group count of the snapshot
+        it is about to build, so one snapshot's keys never evict each
+        other.  No-op when the bound was pinned explicitly (constructor
+        argument or ``REPRO_PATHS_CACHE``) or is already large enough.
+        """
+        if self._cache_pinned or entries <= self._paths_cache_size:
+            return
+        self._paths_cache_size = entries
 
     def clear_cache(self) -> None:
         """Drop all memoised propagation results."""
@@ -429,25 +474,153 @@ class PropagationEngine:
                 return dict(cached)
             self._cache_misses += 1
             obs.add("propagation.cache_misses")
+        paths = self._compute_paths(origin, route_class, vantage_points)
+        if key is not None:
+            cache[key] = paths
+            if len(cache) > self._paths_cache_size:
+                cache.popitem(last=False)
+                self._cache_evictions += 1
+                obs.add("propagation.cache_evictions")
+            return dict(paths)
+        return paths
+
+    def _compute_paths(
+        self,
+        origin: int,
+        route_class: RouteClass,
+        vantage_points: tuple[int, ...],
+    ) -> dict[int, tuple[int, ...]]:
+        """One uncached ``paths_to`` resolution (shared with the batch path)."""
         if origin not in self._providers:
             raise TopologyError(f"unknown origin AS{origin}")
         filters = self.class_filters(route_class)
         order = self._closure_order_of(vantage_points)
         if order is not None:
-            paths = self._fast_paths(origin, filters, vantage_points, order)
-        else:
-            routes = self.propagate(
-                origin, route_class, targets=vantage_points
-            )
-            paths = {
-                vp: routes[vp].path for vp in vantage_points if vp in routes
-            }
-        if key is not None:
-            cache[key] = paths
+            return self._fast_paths(origin, filters, vantage_points, order)
+        routes = self.propagate(origin, route_class, targets=vantage_points)
+        return {vp: routes[vp].path for vp in vantage_points if vp in routes}
+
+    def paths_to_many(
+        self,
+        keys: Iterable[tuple[int, RouteClass]],
+        vantage_points: Iterable[int],
+    ) -> list[dict[int, tuple[int, ...]]]:
+        """Batched :meth:`paths_to` over many (origin, route class) pairs.
+
+        Phases 2–3 of every uncached key resolve together as columnar
+        sweeps (:func:`repro.kernels.csr.batch_paths`); phase 1 and the
+        memo bookkeeping stay scalar, replayed key by key so the cache
+        contents, LRU order and hit/miss/eviction counters end up exactly
+        as a ``paths_to`` loop would leave them.
+        """
+        keys = list(keys)
+        vantage_points = tuple(vantage_points)
+        order = self._closure_order_of(vantage_points)
+        if order is None:
+            # Provider cycle in the closure: no batch plan exists; the
+            # scalar path handles it via the recursive resolution.
+            return [
+                self.paths_to(origin, vantage_points, route_class)
+                for origin, route_class in keys
+            ]
+        resolved = [
+            (origin, self.signature_id(route_class), route_class)
+            for origin, route_class in keys
+        ]
+        cache = self._paths_cache
+        if self._paths_cache_size <= 0:
+            # Caching disabled: every call computes (and counts nothing),
+            # so just batch the distinct keys and copy for duplicates.
+            need = {}
+            for origin, sig, route_class in resolved:
+                need.setdefault((origin, sig), (origin, route_class))
+            computed = self._batch_compute(need, vantage_points, order)
+            results = []
+            seen: set[tuple[int, int]] = set()
+            for origin, sig, _ in resolved:
+                paths = computed[(origin, sig)]
+                if (origin, sig) in seen:
+                    # Duplicate keys get independent dicts, like repeated
+                    # calls of the scalar path.
+                    paths = dict(paths)
+                else:
+                    seen.add((origin, sig))
+                results.append(paths)
+            return results
+        need = {}
+        for origin, sig, route_class in resolved:
+            cache_key = (origin, sig, vantage_points)
+            if cache_key not in cache and cache_key not in need:
+                need[cache_key] = (origin, route_class)
+        computed = self._batch_compute(need, vantage_points, order)
+        results: list[dict[int, tuple[int, ...]]] = []
+        for origin, sig, route_class in resolved:
+            cache_key = (origin, sig, vantage_points)
+            cached = cache.get(cache_key)
+            if cached is not None:
+                cache.move_to_end(cache_key)
+                self._cache_hits += 1
+                obs.add("propagation.cache_hits")
+                results.append(dict(cached))
+                continue
+            self._cache_misses += 1
+            obs.add("propagation.cache_misses")
+            paths = computed.pop(cache_key, None)
+            if paths is None:
+                # Pre-computed entry was evicted from the memo between
+                # its insertion and this reuse: recompute like the
+                # scalar loop would.
+                paths = self._compute_paths(origin, route_class, vantage_points)
+            cache[cache_key] = paths
             if len(cache) > self._paths_cache_size:
                 cache.popitem(last=False)
-            return dict(paths)
-        return paths
+                self._cache_evictions += 1
+                obs.add("propagation.cache_evictions")
+            results.append(dict(paths))
+        return results
+
+    def _batch_compute(
+        self,
+        need: dict,
+        vantage_points: tuple[int, ...],
+        order: tuple[int, ...],
+    ) -> dict:
+        """Compute ``{key: paths}`` for every ``key: (origin, class)`` in
+        ``need`` via the columnar phase-2/3 kernel, grouped by signature."""
+        if not need:
+            return {}
+        plan = self._batch_plans.get(vantage_points)
+        if plan is None:
+            plan = CollectionPlan(
+                order, vantage_points, self._peers, self._providers
+            )
+            self._batch_plans[vantage_points] = plan
+        by_signature: dict[int, list] = defaultdict(list)
+        for key, (origin, route_class) in need.items():
+            if origin not in self._providers:
+                raise TopologyError(f"unknown origin AS{origin}")
+            # key[1] is the interned signature id, resolved by the caller.
+            by_signature[key[1]].append((key, origin, route_class))
+        computed = {}
+        for entries in by_signature.values():
+            filters = self.class_filters(entries[0][2])
+            p2_keep, level_keeps = plan.filter_masks(
+                filters.drops_peers, filters.drops_everywhere
+            )
+            bases = [
+                {
+                    asn: route.path
+                    for asn, route in self._customer_routes(
+                        origin, filters
+                    ).items()
+                }
+                for _, origin, _ in entries
+            ]
+            for (key, _, _), paths in zip(
+                entries, batch_paths(plan, bases, p2_keep, level_keeps)
+            ):
+                computed[key] = paths
+        return computed
 
     def _fast_paths(
         self,

@@ -10,15 +10,60 @@ serialise it in the upstream tab-separated format
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.bgp.collector import RibSnapshot
 from repro.errors import DatasetError
 from repro.net.prefix import Prefix, aggregate_address_count
 
 __all__ = [
     "Prefix2AS",
+    "V4Columns",
     "serialize_prefix2as",
     "parse_prefix2as",
 ]
+
+
+class V4Columns:
+    """Columnar view of the v4 ``(origin, prefix)`` rows of a mapping.
+
+    Rows are presorted by ``(first address, length)`` — the order the
+    interval sweep in :func:`repro.net.prefix.aggregate_address_count`
+    needs — so any boolean population mask selects an already-ordered
+    subset and per-population address counting never re-sorts.  The
+    unique-prefix columns cover the distinct ``(value, length)`` pairs;
+    ``unique_inverse`` maps each row to its distinct prefix, letting
+    per-prefix coverage verdicts broadcast back onto rows.
+    """
+
+    __slots__ = (
+        "origins",
+        "firsts",
+        "lasts",
+        "unique_values",
+        "unique_lengths",
+        "unique_inverse",
+    )
+
+    def __init__(self, origins: list[int], prefixes: list[Prefix]):
+        self.origins = np.array(origins, dtype=np.int64)
+        firsts = np.array([p.first for p in prefixes], dtype=np.int64)
+        lasts = np.array([p.last for p in prefixes], dtype=np.int64)
+        values = np.array([p.value for p in prefixes], dtype=np.uint64)
+        lengths = np.array([p.length for p in prefixes], dtype=np.int64)
+        order = np.lexsort((lengths, firsts))
+        self.origins = self.origins[order]
+        self.firsts = firsts[order]
+        self.lasts = lasts[order]
+        values = values[order]
+        lengths = lengths[order]
+        packed = self.firsts * np.int64(64) + lengths
+        _, first_at, inverse = np.unique(
+            packed, return_index=True, return_inverse=True
+        )
+        self.unique_values = values[first_at]
+        self.unique_lengths = lengths[first_at]
+        self.unique_inverse = inverse
 
 
 class Prefix2AS:
@@ -36,6 +81,7 @@ class Prefix2AS:
         self._rib: RibSnapshot | None = None
         self._by_origin: dict[int, list[Prefix]] | None = None
         self._origin_asns: list[int] | None = None
+        self._v4_columns: V4Columns | None = None
 
     @classmethod
     def from_rib(cls, snapshot: RibSnapshot) -> "Prefix2AS":
@@ -90,6 +136,20 @@ class Prefix2AS:
         if self._origin_asns is None:
             self._origin_asns = sorted(self._origin_index())
         return self._origin_asns
+
+    def v4_columns(self) -> V4Columns:
+        """The columnar (and cached) view of all v4 origination rows."""
+        if self._v4_columns is None:
+            index = self._origin_index()
+            origins: list[int] = []
+            prefixes: list[Prefix] = []
+            for asn in sorted(index):
+                for prefix in index[asn]:
+                    if prefix.version == 4:
+                        origins.append(asn)
+                        prefixes.append(prefix)
+            self._v4_columns = V4Columns(origins, prefixes)
+        return self._v4_columns
 
     def address_space_of(self, asns: frozenset[int] | set[int]) -> int:
         """Distinct IPv4 addresses originated by the given ASes."""

@@ -14,9 +14,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
+from repro import kernels
 from repro.bgp.table import Prefix2AS
 from repro.ihr.records import IHRDataset
 from repro.irr.database import IRRCollection, IRRDatabase
+from repro.kernels.intervals import _sorted_contains, union_address_count
 from repro.net.prefix import Prefix, aggregate_address_count
 from repro.rpki.rov import ROVValidator, RPKIStatus
 
@@ -51,6 +55,8 @@ def rpki_saturation(
     member_asns: frozenset[int],
 ) -> tuple[SaturationReport, SaturationReport]:
     """(MANRS, non-MANRS) saturation over the routed IPv4 table."""
+    if kernels.use_numpy():
+        return _rpki_saturation_numpy(prefix2as, rov, member_asns)
     member_prefixes: list[Prefix] = []
     other_prefixes: list[Prefix] = []
     for asn in prefix2as.origin_asns:
@@ -60,6 +66,40 @@ def rpki_saturation(
         _saturation_of(member_prefixes, rov),
         _saturation_of(other_prefixes, rov),
     )
+
+
+def _rpki_saturation_numpy(
+    prefix2as: Prefix2AS,
+    rov: ROVValidator,
+    member_asns: frozenset[int],
+) -> tuple[SaturationReport, SaturationReport]:
+    """Columnar saturation: per-population sweeps over presorted rows.
+
+    The routed/covered address counts are unions of integer intervals,
+    so they only depend on which rows each population selects, not on
+    bucket assembly order — the presorted columns plus boolean masks
+    yield the exact integers of the per-prefix reference path.
+    """
+    cols = prefix2as.v4_columns()
+    covered = rov.interval_index().covers_v4(
+        cols.unique_values, cols.unique_lengths
+    )[cols.unique_inverse]
+    members = np.array(sorted(member_asns), dtype=np.int64)
+    member_rows = _sorted_contains(members, cols.origins)
+    reports = []
+    for rows in (member_rows, ~member_rows):
+        hit = rows & covered
+        reports.append(
+            SaturationReport(
+                routed_space=union_address_count(
+                    cols.firsts[rows], cols.lasts[rows]
+                ),
+                covered_space=union_address_count(
+                    cols.firsts[hit], cols.lasts[hit]
+                ),
+            )
+        )
+    return reports[0], reports[1]
 
 
 def _saturation_of(prefixes: list[Prefix], rov: ROVValidator) -> SaturationReport:

@@ -15,9 +15,14 @@ hegemony and learned-from-customer computations.
 
 from __future__ import annotations
 
-from repro import obs
-from repro.bgp.collector import RibSnapshot
+from itertools import chain
+
+import numpy as np
+
+from repro import kernels, obs
+from repro.bgp.collector import RibSnapshot, RouteGroup
 from repro.hegemony.scores import DEFAULT_TRIM, hegemony_scores
+from repro.kernels.groupby import hegemony_transits
 from repro.ihr.records import (
     IHRDataset,
     PrefixOriginRecord,
@@ -47,10 +52,6 @@ def build_ihr_dataset(
     learned-from-customer flags are computed once per group.
     """
     prefix_origins: list[PrefixOriginRecord] = []
-    transit_groups: list[TransitGroup] = []
-    # Materialise customer sets once: ASTopology.customers_of copies a
-    # frozenset per call, far too slow for millions of path positions.
-    customers_of = {asn: topology.customers_of(asn) for asn in topology.asns}
     visible = [group for group in snapshot.groups if group.paths]
     with obs.span("ihr.validate"):
         routes = [
@@ -61,6 +62,7 @@ def build_ihr_dataset(
         rpki_by_route = rov.validate_many(routes)
         irr_by_route = validate_irr_many(irr, routes)
     with obs.span("ihr.hegemony"):
+        group_statuses: list[tuple] = []
         for group in visible:
             statuses = tuple(
                 (
@@ -69,6 +71,7 @@ def build_ihr_dataset(
                 )
                 for prefix in group.prefixes
             )
+            group_statuses.append(statuses)
             visibility = len(group.paths)
             for prefix, (rpki_status, irr_status) in zip(
                 group.prefixes, statuses
@@ -82,32 +85,129 @@ def build_ihr_dataset(
                         visibility=visibility,
                     )
                 )
-            stripped = [
-                strip_prepending(path) for path in group.paths.values()
-            ]
-            scores = hegemony_scores(stripped, trim=trim, prestripped=True)
-            if not scores:
-                continue
-            learned_from_customer = _customer_learning(stripped, customers_of)
-            transits = {
-                asn: TransitInfo(
-                    hegemony=score,
-                    from_customer=learned_from_customer.get(asn, False),
-                )
-                for asn, score in scores.items()
-            }
-            transit_groups.append(
-                TransitGroup(
-                    origin=group.origin,
-                    prefixes=group.prefixes,
-                    statuses=statuses,
-                    transits=transits,
-                    visibility=visibility,
-                )
+        if kernels.use_numpy():
+            transit_groups = _transit_groups_numpy(
+                visible, group_statuses, topology, trim
+            )
+        else:
+            transit_groups = _transit_groups_python(
+                visible, group_statuses, topology, trim
             )
     obs.add("ihr.prefix_origins", len(prefix_origins))
     obs.add("ihr.transit_groups", len(transit_groups))
     return IHRDataset(prefix_origins=prefix_origins, transit_groups=transit_groups)
+
+
+def _transit_groups_python(
+    visible: list[RouteGroup],
+    group_statuses: list[tuple],
+    topology: ASTopology,
+    trim: float,
+) -> list[TransitGroup]:
+    """The reference per-group transit scoring loop."""
+    # Materialise customer sets once: ASTopology.customers_of copies a
+    # frozenset per call, far too slow for millions of path positions.
+    customers_of = {asn: topology.customers_of(asn) for asn in topology.asns}
+    transit_groups: list[TransitGroup] = []
+    for group, statuses in zip(visible, group_statuses):
+        stripped = [strip_prepending(path) for path in group.paths.values()]
+        scores = hegemony_scores(stripped, trim=trim, prestripped=True)
+        if not scores:
+            continue
+        learned_from_customer = _customer_learning(stripped, customers_of)
+        transits = {
+            asn: TransitInfo(
+                hegemony=score,
+                from_customer=learned_from_customer.get(asn, False),
+            )
+            for asn, score in scores.items()
+        }
+        transit_groups.append(
+            TransitGroup(
+                origin=group.origin,
+                prefixes=group.prefixes,
+                statuses=statuses,
+                transits=transits,
+                visibility=len(group.paths),
+            )
+        )
+    return transit_groups
+
+
+def _transit_groups_numpy(
+    visible: list[RouteGroup],
+    group_statuses: list[tuple],
+    topology: ASTopology,
+    trim: float,
+) -> list[TransitGroup]:
+    """Columnar transit scoring: one flat reduction over all groups.
+
+    Produces the same TransitGroups in the same order with the same
+    per-group transit insertion order as the reference loop (see
+    :func:`repro.kernels.groupby.hegemony_transits`).
+    """
+    all_paths: list[tuple[int, ...]] = []
+    counts: list[int] = []
+    for group in visible:
+        paths = group.paths
+        all_paths.extend(paths.values())
+        counts.append(len(paths))
+    lens = np.fromiter(map(len, all_paths), dtype=np.int64, count=len(all_paths))
+    offsets = np.concatenate((np.zeros(1, dtype=np.int64), np.cumsum(lens)))
+    flat = np.fromiter(
+        chain.from_iterable(all_paths), dtype=np.int64, count=int(offsets[-1])
+    )
+    paths_per_group = np.array(counts, dtype=np.int64)
+    group_of_path = np.repeat(
+        np.arange(len(visible), dtype=np.int64), paths_per_group
+    )
+    csr = topology.csr()
+    provider_rows = np.repeat(
+        np.arange(len(csr.asns), dtype=np.int64),
+        np.diff(csr.customer_indptr),
+    )
+    edges = (
+        csr.asns[provider_rows].astype(np.uint64) << np.uint64(32)
+    ) | csr.asns[csr.customer_indices].astype(np.uint64)
+    edges.sort()
+    group_ids, asns, scores, flags = hegemony_transits(
+        flat,
+        offsets,
+        group_of_path,
+        paths_per_group,
+        trim,
+        edges,
+    )
+    transit_groups: list[TransitGroup] = []
+    if not len(group_ids):
+        return transit_groups
+    bounds = np.flatnonzero(
+        np.concatenate(([True], group_ids[1:] != group_ids[:-1]))
+    )
+    ends = np.concatenate((bounds[1:], [len(group_ids)]))
+    gi_list = group_ids.tolist()
+    asn_list = asns.tolist()
+    score_list = scores.tolist()
+    flag_list = flags.tolist()
+    for begin, end in zip(bounds.tolist(), ends.tolist()):
+        group = visible[gi_list[begin]]
+        transits = {
+            asn_list[row]: TransitInfo(
+                hegemony=score_list[row],
+                from_customer=flag_list[row],
+            )
+            for row in range(begin, end)
+        }
+        transit_groups.append(
+            TransitGroup(
+                origin=group.origin,
+                prefixes=group.prefixes,
+                statuses=group_statuses[gi_list[begin]],
+                transits=transits,
+                visibility=len(group.paths),
+            )
+        )
+    return transit_groups
 
 
 def _customer_learning(

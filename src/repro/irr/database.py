@@ -33,6 +33,15 @@ class IRRDatabase:
     _as_sets: dict[str, AsSetObject] = field(default_factory=dict)
     #: Bumped on every route mutation; memo owners key their caches on it.
     _version: int = field(default=0, init=False, repr=False, compare=False)
+    #: Accepted routes not yet in the trie.  World builds register tens
+    #: of thousands of objects and may never walk the trie at all (bulk
+    #: classification goes through the interval kernel), so trie entry
+    #: is deferred until the first query and then done as one
+    #: address-sorted ``insert_sorted`` burst — the stable sort keeps
+    #: per-node value order identical to immediate per-route inserts.
+    _pending_routes: list[tuple[Prefix, RouteObject]] = field(
+        default_factory=list, init=False, repr=False, compare=False
+    )
 
     def add_route(self, route: RouteObject) -> None:
         """Register a route object.
@@ -57,11 +66,22 @@ class IRRDatabase:
                     f"{route.prefix} is outside {self.authoritative_for.value} "
                     f"space; {self.name} is authoritative"
                 )
-        self._routes.insert(route.prefix, route)
+        self._pending_routes.append((route.prefix, route))
         self._version += 1
+
+    def _flush_routes(self) -> None:
+        pending = self._pending_routes
+        if pending:
+            pending.sort(key=lambda item: item[0])
+            from repro import obs
+
+            with obs.gc_paused():
+                self._routes.insert_sorted(pending)
+            self._pending_routes = []
 
     def remove_route(self, route: RouteObject) -> bool:
         """Delete a route object; True if it was present."""
+        self._flush_routes()
         removed = self._routes.remove(route.prefix, route)
         if removed:
             self._version += 1
@@ -77,12 +97,14 @@ class IRRDatabase:
 
     def routes_covering(self, prefix: Prefix) -> list[RouteObject]:
         """Route objects whose prefix contains ``prefix``."""
+        self._flush_routes()
         return self._routes.covering(prefix)
 
     def routes_covering_many(
         self, prefixes: Iterable[Prefix]
     ) -> dict[Prefix, list[RouteObject]]:
         """Covering route objects for many prefixes (one bulk trie walk)."""
+        self._flush_routes()
         return self._routes.covering_many(prefixes)
 
     @property
@@ -92,6 +114,7 @@ class IRRDatabase:
 
     def routes_exact(self, prefix: Prefix) -> list[RouteObject]:
         """Route objects registered at exactly ``prefix``."""
+        self._flush_routes()
         return self._routes.search_exact(prefix)
 
     def aut_num(self, asn: int) -> AutNumObject | None:
@@ -104,12 +127,21 @@ class IRRDatabase:
 
     def all_routes(self) -> list[RouteObject]:
         """Every route object, in address order."""
+        self._flush_routes()
         return [route for _, route in self._routes.items()]
+
+    def iter_route_objects(self) -> Iterable[RouteObject]:
+        """Every route object in arbitrary order, without forcing the
+        pending backlog into the trie (bulk kernels don't need it)."""
+        for _, route in self._routes.items():
+            yield route
+        for _, route in self._pending_routes:
+            yield route
 
     @property
     def route_count(self) -> int:
         """Number of route objects stored."""
-        return len(self._routes)
+        return len(self._routes) + len(self._pending_routes)
 
 
 class IRRCollection:

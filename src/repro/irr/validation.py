@@ -25,7 +25,8 @@ from __future__ import annotations
 from enum import Enum
 from typing import Iterable
 
-from repro import obs
+from repro import kernels, obs
+from repro.kernels.intervals import RouteIntervalIndex
 from repro.irr.database import IRRCollection, IRRDatabase
 from repro.irr.objects import RouteObject
 from repro.net.prefix import Prefix
@@ -61,6 +62,51 @@ def _classify(
                 return IRRStatus.VALID
             origin_match = True
     return IRRStatus.INVALID_LENGTH if origin_match else IRRStatus.INVALID_ORIGIN
+
+
+#: Interval-kernel verdict code → IRR status (see kernels.intervals).
+_STATUS_BY_CODE = (
+    IRRStatus.NOT_FOUND,
+    IRRStatus.VALID,
+    IRRStatus.INVALID_LENGTH,
+    IRRStatus.INVALID_ORIGIN,
+)
+
+
+def _index_of(
+    registry: IRRCollection | IRRDatabase,
+) -> RouteIntervalIndex | None:
+    """The registry's current-state interval index, or None if unsupported.
+
+    Like the verdict memo, the index is cached in the registry object's
+    ``__dict__`` tagged with the mutation counter it was built against.
+    A route object's own prefix length serves as its max-length, which
+    makes the paper's IRR procedure the exact RFC 6811 verdict function
+    (a covering match is VALID only at the registered length).
+    """
+    version = getattr(registry, "version", None)
+    if version is None:
+        return None
+    cached = getattr(registry, "_interval_index", None)
+    if cached is not None and cached[0] == version:
+        return cached[1]
+    if isinstance(registry, IRRCollection):
+        databases = registry.databases
+    else:
+        databases = [registry]
+    index = RouteIntervalIndex(
+        (
+            (route.prefix, route.origin, route.prefix.length)
+            for database in databases
+            for route in database.iter_route_objects()
+        ),
+        zero_asn_matches=True,
+    )
+    try:
+        registry._interval_index = (version, index)
+    except AttributeError:  # e.g. a slotted test double
+        return None
+    return index
 
 
 def _memo_of(
@@ -127,13 +173,20 @@ def validate_irr_many(
         else:
             results[key] = status
     if pending:
-        covering = registry.routes_covering_many(
-            prefix for prefix, _ in pending
-        )
+        index = _index_of(registry) if kernels.use_numpy() else None
+        if index is not None:
+            codes = index.classify_routes(pending)
+            statuses = [_STATUS_BY_CODE[code] for code in codes.tolist()]
+        else:
+            covering = registry.routes_covering_many(
+                prefix for prefix, _ in pending
+            )
+            statuses = [
+                _classify(covering[prefix], prefix, origin)
+                for prefix, origin in pending
+            ]
         tallies: dict[IRRStatus, int] = {}
-        for key in pending:
-            prefix, origin = key
-            status = _classify(covering[prefix], prefix, origin)
+        for key, status in zip(pending, statuses):
             memo[key] = status
             results[key] = status
             tallies[status] = tallies.get(status, 0) + 1

@@ -1,0 +1,62 @@
+"""Columnar numpy kernels for the measurement hot path.
+
+The pipeline's per-world cost is dominated by bulk, per-route work with
+no data-dependent control flow: classifying every origination against
+the RPKI and the IRR, sweeping routed address space per year, scoring
+transit ASes over millions of collector paths, and re-running the same
+three-phase propagation over thousands of (origin, filter-class) groups.
+Each of those admits a columnar formulation — integer prefix columns,
+CSR adjacency, sort-then-reduce groupings — that numpy executes one to
+two orders of magnitude faster than the per-object Python loops.
+
+Every kernel is a *drop-in* behind an existing API and is required to be
+**byte-identical** to the pure-Python reference implementation it
+shadows (the original code paths, which all remain in place).  The
+golden-digest suite pins that equivalence end to end; `tests/
+test_kernels.py` pins it property-by-property on generated inputs.
+
+Mode selection
+--------------
+
+``REPRO_KERNELS`` picks the implementation:
+
+* ``numpy`` (default) — columnar kernels;
+* ``python`` — the original pure-Python reference paths.
+
+The variable is read at *call* time, not import time, so tests can flip
+modes with ``monkeypatch.setenv`` and compare both implementations in
+one process.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["KERNEL_MODES", "kernel_mode", "use_numpy"]
+
+#: Recognised values of ``REPRO_KERNELS``.
+KERNEL_MODES = ("numpy", "python")
+
+_ENV_VAR = "REPRO_KERNELS"
+
+
+def kernel_mode() -> str:
+    """The active kernel mode (``numpy`` or ``python``).
+
+    Unset or empty selects ``numpy``; anything unrecognised raises so a
+    typo cannot silently change which implementation ran.
+    """
+    mode = os.environ.get(_ENV_VAR, "").strip().lower()
+    if not mode:
+        return "numpy"
+    if mode not in KERNEL_MODES:
+        raise ValueError(
+            f"{_ENV_VAR}={mode!r} is not a kernel mode; "
+            f"expected one of {', '.join(KERNEL_MODES)}"
+        )
+    return mode
+
+
+def use_numpy() -> bool:
+    """True when the columnar numpy kernels are active."""
+    return kernel_mode() == "numpy"

@@ -1,0 +1,283 @@
+"""CSR propagation kernels: batched phase-2/3 sweeps for collection.
+
+``PropagationEngine.paths_to`` re-runs the same three-phase computation
+for thousands of origins against one vantage-point set.  Phase 1
+(customer routes up the origin's provider chain) touches a handful of
+ASes and stays in Python; phases 2 and 3 each scan the vantage points'
+provider *closure* — a fixed set of ~10² ASes whose peer/provider
+adjacency never changes between origins.  This module freezes that
+closure into CSR slot arrays once per vantage-point set
+(:class:`CollectionPlan`) and then resolves phases 2–3 for a whole batch
+of origins as ``min``-``reduceat`` sweeps over ``(origins × slots)``
+matrices.
+
+Selection semantics are bit-identical to the scalar reference
+(:meth:`PropagationEngine._fast_paths`): candidates pack to
+``length * 2**16 + neighbour_rank`` so the vectorised ``min`` reproduces
+"shortest path, then first neighbour in ascending-ASN iteration", and
+phase 3 runs level-by-level over the provider-first closure ordering —
+every provider of a level-``k`` AS sits in a level below ``k``, so the
+per-level sweep sees exactly the state the sequential loop saw.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+__all__ = ["CollectionPlan", "batch_paths"]
+
+#: Rank base for packed (path length, neighbour rank) candidate keys.
+_RANK = np.int64(1) << np.int64(16)
+#: "No candidate" sentinel; larger than any packed key.
+_NONE = np.int64(1) << np.int64(62)
+
+
+class CollectionPlan:
+    """One vantage-point set's closure, frozen for batched resolution.
+
+    Built from the provider-first closure ``order`` (phase-3 processing
+    sequence) and the engine's frozen ascending-ASN adjacency tuples —
+    slot ranks inherit their ordering, which is what makes the packed
+    ``min`` reproduce the scalar tie-breaks.  Exporters — the peers that
+    may feed a phase-2 route into the closure — are pooled separately
+    because they need not be closure members themselves.
+    """
+
+    __slots__ = (
+        "casn",
+        "cidx",
+        "vp_pairs",
+        "exporter_asns",
+        "p2_members",
+        "p2_starts",
+        "p2_slot_exporter",
+        "p2_slot_rank",
+        "levels",
+    )
+
+    def __init__(
+        self,
+        order: tuple[int, ...],
+        vantage_points: tuple[int, ...],
+        peers_of: Mapping[int, tuple[int, ...]],
+        providers_of: Mapping[int, tuple[int, ...]],
+    ):
+        self.casn = list(order)
+        self.cidx = {asn: i for i, asn in enumerate(order)}
+        self.vp_pairs = [(vp, self.cidx[vp]) for vp in vantage_points]
+
+        # Phase-2 slots: per closure member with peers, its peers mapped
+        # into one exporter pool (slot order = ascending-ASN peer order).
+        exporter_asns: list[int] = []
+        eidx: dict[int, int] = {}
+        members: list[int] = []
+        starts: list[int] = []
+        slot_exporter: list[int] = []
+        for c, asn in enumerate(order):
+            peers = peers_of[asn]
+            if not peers:
+                continue
+            members.append(c)
+            starts.append(len(slot_exporter))
+            for peer in peers:
+                e = eidx.get(peer)
+                if e is None:
+                    e = len(exporter_asns)
+                    eidx[peer] = e
+                    exporter_asns.append(peer)
+                slot_exporter.append(e)
+        self.exporter_asns = exporter_asns
+        self.p2_members = np.array(members, dtype=np.int64)
+        self.p2_starts = np.array(starts, dtype=np.int64)
+        self.p2_slot_exporter = np.array(slot_exporter, dtype=np.int64)
+        ranks = np.arange(len(slot_exporter), dtype=np.int64)
+        if len(starts):
+            ranks -= np.repeat(
+                self.p2_starts,
+                np.diff(np.concatenate((self.p2_starts, [len(slot_exporter)]))),
+            )
+        self.p2_slot_rank = ranks
+
+        # Phase-3 levels: partition the provider-first order into rounds
+        # where every member's providers sit in an earlier round.  The
+        # closure is provider-closed, so provider lookups stay inside it.
+        level_of: dict[int, int] = {}
+        by_level: dict[int, list[int]] = {}
+        for c, asn in enumerate(order):
+            providers = providers_of[asn]
+            level = (
+                0
+                if not providers
+                else 1 + max(level_of[p] for p in providers)
+            )
+            level_of[asn] = level
+            if providers:
+                by_level.setdefault(level, []).append(c)
+        self.levels = []
+        for level in sorted(by_level):
+            l_members: list[int] = []
+            l_starts: list[int] = []
+            l_slot_provider: list[int] = []
+            for c in by_level[level]:
+                l_members.append(c)
+                l_starts.append(len(l_slot_provider))
+                l_slot_provider.extend(
+                    self.cidx[p] for p in providers_of[self.casn[c]]
+                )
+            slot_provider = np.array(l_slot_provider, dtype=np.int64)
+            starts_arr = np.array(l_starts, dtype=np.int64)
+            rank_arr = np.arange(len(slot_provider), dtype=np.int64)
+            rank_arr -= np.repeat(
+                starts_arr,
+                np.diff(np.concatenate((starts_arr, [len(slot_provider)]))),
+            )
+            self.levels.append(
+                (
+                    np.array(l_members, dtype=np.int64),
+                    starts_arr,
+                    slot_provider,
+                    rank_arr,
+                )
+            )
+
+    def filter_masks(
+        self, drops_peers: frozenset[int], drops_everywhere: frozenset[int]
+    ) -> tuple[np.ndarray, list[np.ndarray]]:
+        """Per-member keep masks for one filter signature."""
+        casn = self.casn
+        p2_keep = np.array(
+            [casn[c] not in drops_peers for c in self.p2_members.tolist()],
+            dtype=bool,
+        )
+        level_keeps = [
+            np.array(
+                [casn[c] not in drops_everywhere for c in members.tolist()],
+                dtype=bool,
+            )
+            for members, _, _, _ in self.levels
+        ]
+        return p2_keep, level_keeps
+
+
+def batch_paths(
+    plan: CollectionPlan,
+    bases: list[dict[int, tuple[int, ...]]],
+    p2_keep: np.ndarray,
+    level_keeps: list[np.ndarray],
+) -> list[dict[int, tuple[int, ...]]]:
+    """Resolve phases 2–3 for every origin in one sweep per phase.
+
+    ``bases`` holds each origin's phase-1 routes (AS → path).  Returns
+    one ``{vantage_point: path}`` dict per origin, identical to the
+    scalar reference in content and iteration order.
+    """
+    n_origins = len(bases)
+    n_closure = len(plan.casn)
+    n_exporters = len(plan.exporter_asns)
+    base_len = np.zeros((n_origins, n_exporters), dtype=np.int64)
+    merged_len = np.zeros((n_origins, n_closure), dtype=np.int64)
+    kind = np.zeros((n_origins, n_closure), dtype=np.int8)
+    peer_bp = np.zeros((n_origins, n_closure), dtype=np.int32)
+    provider_bp = np.zeros((n_origins, n_closure), dtype=np.int32)
+
+    # Scatter phase-1 path lengths into the exporter and closure columns.
+    eidx = {asn: i for i, asn in enumerate(plan.exporter_asns)}
+    cidx = plan.cidx
+    rows: list[int] = []
+    e_cols: list[int] = []
+    e_vals: list[int] = []
+    c_rows: list[int] = []
+    c_cols: list[int] = []
+    c_vals: list[int] = []
+    for g, base in enumerate(bases):
+        for asn, path in base.items():
+            e = eidx.get(asn)
+            if e is not None:
+                rows.append(g)
+                e_cols.append(e)
+                e_vals.append(len(path))
+            c = cidx.get(asn)
+            if c is not None:
+                c_rows.append(g)
+                c_cols.append(c)
+                c_vals.append(len(path))
+    if rows:
+        base_len[rows, e_cols] = e_vals
+    if c_rows:
+        merged_len[c_rows, c_cols] = c_vals
+        kind[c_rows, c_cols] = 1
+
+    # Phase 2: best (shortest, lowest-rank) exporting peer per member.
+    if len(plan.p2_members):
+        gathered = base_len[:, plan.p2_slot_exporter]
+        packed = np.where(
+            gathered > 0, gathered * _RANK + plan.p2_slot_rank, _NONE
+        )
+        best = np.minimum.reduceat(packed, plan.p2_starts, axis=1)
+        members = plan.p2_members
+        chosen = (
+            (best < _NONE) & (merged_len[:, members] == 0) & p2_keep[None, :]
+        )
+        slots = plan.p2_starts[None, :] + (best % _RANK)
+        exporters = plan.p2_slot_exporter[slots]
+        merged_len[:, members] = np.where(
+            chosen, best // _RANK + 1, merged_len[:, members]
+        )
+        kind[:, members] = np.where(chosen, np.int8(2), kind[:, members])
+        peer_bp[:, members] = np.where(
+            chosen, exporters.astype(np.int32), peer_bp[:, members]
+        )
+
+    # Phase 3, one round per closure level (provider-first semantics).
+    for (members, starts, slot_provider, slot_rank), keep in zip(
+        plan.levels, level_keeps
+    ):
+        gathered = merged_len[:, slot_provider]
+        packed = np.where(gathered > 0, gathered * _RANK + slot_rank, _NONE)
+        best = np.minimum.reduceat(packed, starts, axis=1)
+        chosen = (
+            (best < _NONE) & (merged_len[:, members] == 0) & keep[None, :]
+        )
+        providers = slot_provider[starts[None, :] + (best % _RANK)]
+        merged_len[:, members] = np.where(
+            chosen, best // _RANK + 1, merged_len[:, members]
+        )
+        kind[:, members] = np.where(chosen, np.int8(3), kind[:, members])
+        provider_bp[:, members] = np.where(
+            chosen, providers.astype(np.int32), provider_bp[:, members]
+        )
+
+    # Path reconstruction: one forward pass per origin.  Columns follow
+    # the provider-first closure order, so a phase-3 back-pointer always
+    # references an already-built column (``p_row[c] < c``) and phase-3
+    # tuples share their providers' tuples structurally.
+    casn = plan.casn
+    exporter_asns = plan.exporter_asns
+    vp_pairs = plan.vp_pairs
+    kind_rows = kind.tolist()
+    peer_rows = peer_bp.tolist()
+    provider_rows = provider_bp.tolist()
+    results: list[dict[int, tuple[int, ...]]] = []
+    for g, base in enumerate(bases):
+        k_row = kind_rows[g]
+        e_row = peer_rows[g]
+        p_row = provider_rows[g]
+        built: list[tuple[int, ...] | None] = [None] * n_closure
+        for c, k in enumerate(k_row):
+            if k == 0:
+                continue
+            if k == 3:
+                built[c] = (casn[c],) + built[p_row[c]]
+            elif k == 1:
+                built[c] = base[casn[c]]
+            else:
+                built[c] = (casn[c],) + base[exporter_asns[e_row[c]]]
+        paths: dict[int, tuple[int, ...]] = {}
+        for vp, c in vp_pairs:
+            path = built[c]
+            if path is not None:
+                paths[vp] = path
+        results.append(paths)
+    return results

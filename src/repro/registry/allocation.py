@@ -111,7 +111,9 @@ class AddressSpace:
         delegation = Delegation(block, rir, org_id, allocated_on, legacy)
         self._delegations.append(delegation)
         self._by_org.setdefault(org_id, []).append(delegation)
-        self._index.insert(block, delegation)
+        # Index lazily (drained by holder_of): scenario builds allocate
+        # tens of thousands of blocks and never look one up by prefix.
+        self._unindexed.append(delegation)
         return delegation
 
     @classmethod

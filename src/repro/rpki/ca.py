@@ -11,8 +11,10 @@ crypto failures).
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass, field
 from datetime import date
+from functools import cached_property
 
 from repro.errors import RPKIError
 from repro.net.prefix import Prefix
@@ -47,9 +49,40 @@ class ResourceCertificate:
             not self.revoked and self.not_before <= as_of <= self.not_after
         )
 
+    @cached_property
+    def _coverage(self) -> dict[int, tuple[list[int], list[int]]]:
+        # Per version: resource ranges sorted by first address, paired
+        # with the running maximum of last addresses.  A CIDR block is
+        # contained in another iff its address range is, so "some
+        # resource contains prefix" reduces to "the widest-reaching
+        # resource starting at or below prefix.first reaches prefix.last".
+        by_version: dict[int, list[tuple[int, int]]] = {}
+        for resource in self.resources:
+            by_version.setdefault(resource.version, []).append(
+                (resource.first, resource.last)
+            )
+        coverage: dict[int, tuple[list[int], list[int]]] = {}
+        for version, spans in by_version.items():
+            spans.sort()
+            firsts: list[int] = []
+            reach: list[int] = []
+            furthest = -1
+            for first, last in spans:
+                if last > furthest:
+                    furthest = last
+                firsts.append(first)
+                reach.append(furthest)
+            coverage[version] = (firsts, reach)
+        return coverage
+
     def covers(self, prefix: Prefix) -> bool:
         """True if ``prefix`` is within this certificate's resources."""
-        return any(resource.contains(prefix) for resource in self.resources)
+        entry = self._coverage.get(prefix.version)
+        if entry is None:
+            return False
+        firsts, reach = entry
+        index = bisect_right(firsts, prefix.first) - 1
+        return index >= 0 and reach[index] >= prefix.last
 
 
 @dataclass

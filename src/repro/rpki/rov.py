@@ -19,7 +19,8 @@ from __future__ import annotations
 from enum import Enum
 from typing import Iterable
 
-from repro import obs
+from repro import kernels, obs
+from repro.kernels.intervals import RouteIntervalIndex
 from repro.net.prefix import Prefix
 from repro.net.radix import RadixTree
 from repro.rpki.roa import VRP
@@ -54,6 +55,15 @@ def _classify(covering: list[VRP], prefix: Prefix, origin: int) -> RPKIStatus:
     return RPKIStatus.INVALID_LENGTH if asn_match else RPKIStatus.INVALID_ASN
 
 
+#: Interval-kernel verdict code → RFC 6811 status (see kernels.intervals).
+_STATUS_BY_CODE = (
+    RPKIStatus.NOT_FOUND,
+    RPKIStatus.VALID,
+    RPKIStatus.INVALID_LENGTH,
+    RPKIStatus.INVALID_ASN,
+)
+
+
 class ROVValidator:
     """Stateful validator over a fixed VRP set.
 
@@ -64,19 +74,16 @@ class ROVValidator:
     """
 
     def __init__(self, vrps: Iterable[VRP]):
-        self._tree: RadixTree[VRP] = RadixTree()
-        count = 0
-        # Pause cyclic GC for the node burst: timeline sweeps construct a
-        # validator per year inside an already-large process, where every
-        # few hundred node allocations would otherwise trigger a full
-        # generation-0 scan of the world graph.
-        with obs.gc_paused():
-            for vrp in vrps:
-                self._tree.insert(vrp.prefix, vrp)
-                count += 1
-        self._count = count
+        self._vrps: list[VRP] = list(vrps)
+        self._count = len(self._vrps)
+        # Both lookup structures are lazy: the radix trie backs the
+        # per-route reference path and ad-hoc covering queries, the
+        # interval index backs the bulk numpy kernels.  A validator used
+        # only through one path never builds the other.
+        self._tree: RadixTree[VRP] | None = None
+        self._index: RouteIntervalIndex | None = None
         obs.add("rov.validators_built")
-        obs.add("rov.vrps_loaded", count)
+        obs.add("rov.vrps_loaded", self._count)
         self._memo: dict[tuple[Prefix, int], RPKIStatus] = {}
         self._covered_memo: dict[Prefix, bool] = {}
 
@@ -84,20 +91,44 @@ class ROVValidator:
         """Number of VRPs loaded."""
         return self._count
 
+    def _trie(self) -> RadixTree[VRP]:
+        tree = self._tree
+        if tree is None:
+            tree = RadixTree()
+            # Pause cyclic GC for the node burst: timeline sweeps
+            # construct a validator per year inside an already-large
+            # process, where every few hundred node allocations would
+            # otherwise trigger a full generation-0 scan of the world.
+            with obs.gc_paused():
+                for vrp in self._vrps:
+                    tree.insert(vrp.prefix, vrp)
+            self._tree = tree
+        return tree
+
+    def interval_index(self) -> RouteIntervalIndex:
+        """The searchsorted form of the VRP set (built on first use)."""
+        index = self._index
+        if index is None:
+            index = RouteIntervalIndex(
+                (vrp.prefix, vrp.asn, vrp.max_length) for vrp in self._vrps
+            )
+            self._index = index
+        return index
+
     def all_vrps(self) -> list[VRP]:
         """Every loaded VRP, in address order."""
-        return [vrp for _, vrp in self._tree.items()]
+        return [vrp for _, vrp in self._trie().items()]
 
     def covering_vrps(self, prefix: Prefix) -> list[VRP]:
         """All VRPs whose prefix contains ``prefix``."""
-        return self._tree.covering(prefix)
+        return self._trie().covering(prefix)
 
     def validate(self, prefix: Prefix, origin: int) -> RPKIStatus:
         """Classify one route against the loaded VRPs."""
         key = (prefix, origin)
         status = self._memo.get(key)
         if status is None:
-            status = _classify(self._tree.covering(prefix), prefix, origin)
+            status = _classify(self._trie().covering(prefix), prefix, origin)
             self._memo[key] = status
         return status
 
@@ -120,11 +151,19 @@ class ROVValidator:
             else:
                 results[key] = status
         if pending:
-            covering = self._tree.covering_many(prefix for prefix, _ in pending)
+            if kernels.use_numpy():
+                codes = self.interval_index().classify_routes(pending)
+                statuses = [_STATUS_BY_CODE[code] for code in codes.tolist()]
+            else:
+                covering = self._trie().covering_many(
+                    prefix for prefix, _ in pending
+                )
+                statuses = [
+                    _classify(covering[prefix], prefix, origin)
+                    for prefix, origin in pending
+                ]
             tallies: dict[RPKIStatus, int] = {}
-            for key in pending:
-                prefix, origin = key
-                status = _classify(covering[prefix], prefix, origin)
+            for key, status in zip(pending, statuses):
                 self._memo[key] = status
                 results[key] = status
                 tallies[status] = tallies.get(status, 0) + 1
@@ -142,8 +181,13 @@ class ROVValidator:
         saturation sweeps re-query the same routed table against one
         validator (member and non-member splits, repeated series).
         """
+        if kernels.use_numpy():
+            if not isinstance(prefixes, (list, tuple)):
+                prefixes = list(prefixes)
+            mask = self.interval_index().covers_prefixes(prefixes)
+            return [p for p, hit in zip(prefixes, mask.tolist()) if hit]
         memo = self._covered_memo
-        has_covering = self._tree.has_covering
+        has_covering = self._trie().has_covering
         result: list[Prefix] = []
         for prefix in prefixes:
             covered = memo.get(prefix)

@@ -285,6 +285,22 @@ class _BuildContext:
     def sample_behaviors(self) -> None:
         snapshot = self.config.snapshot_date
         behavior_config = self.config.behavior
+        # Adoption-year cdfs, one per membership arm; drawing through
+        # cdf.searchsorted(rng.random()) consumes the same bit-stream
+        # rng.choice(years, p=...) would.
+        adoption_draws: dict[bool, tuple[np.ndarray, np.ndarray]] = {}
+        for member_arm, adoption_weights in (
+            (True, self.config.member_adoption_weights),
+            (False, self.config.nonmember_adoption_weights),
+        ):
+            weights = np.array(adoption_weights, dtype=float)
+            years = np.arange(
+                self.config.first_year,
+                self.config.first_year + len(weights),
+            )
+            cdf = (weights / weights.sum()).cumsum()
+            cdf /= cdf[-1]
+            adoption_draws[member_arm] = (years, cdf)
         for asn in self.topology.asns:
             member = self.manrs.is_member(asn, snapshot)
             program = self.manrs.program_of(asn, snapshot)
@@ -323,17 +339,16 @@ class _BuildContext:
                 # accurate — staleness concentrates in RPKI adopters
                 # whose IRR records rot (§8.2's explanation).
                 stale_fraction *= 0.25
-            adoption_weights = (
-                self.config.member_adoption_weights
-                if member
-                else self.config.nonmember_adoption_weights
+            years, adoption_cdf = adoption_draws[member]
+            adoption_year = int(
+                years[
+                    int(
+                        adoption_cdf.searchsorted(
+                            self.rng.random(), side="right"
+                        )
+                    )
+                ]
             )
-            weights = np.array(adoption_weights, dtype=float)
-            years = np.arange(
-                self.config.first_year,
-                self.config.first_year + len(weights),
-            )
-            adoption_year = int(self.rng.choice(years, p=weights / weights.sum()))
             if is_cdn_member:
                 adoption_year = max(adoption_year, 2020)
 
@@ -450,6 +465,12 @@ class _BuildContext:
     def allocate_originations(self) -> None:
         origination_config = self.config.origination
         allocated_on = date(2012, 1, 1)
+        # Per-category prefix-length cdf, built once.  Drawing through
+        # cdf.searchsorted(rng.random()) consumes the identical bit-stream
+        # ``rng.choice(lengths, p=...)`` does (choice normalises p to a
+        # cdf and inverts one uniform double through it), at a fraction
+        # of choice's per-call validation overhead.
+        length_cdfs: dict[str, np.ndarray] = {}
         for asn in self.topology.asns:
             record = self.topology.get_as(asn)
             if asn in self.quiescent:
@@ -465,8 +486,13 @@ class _BuildContext:
             lengths, weights = origination_config.prefix_lengths.get(
                 key, ((22, 23, 24), (0.3, 0.3, 0.4))
             )
-            weight_array = np.array(weights, dtype=float)
-            weight_array /= weight_array.sum()
+            length_cdf = length_cdfs.get(key)
+            if length_cdf is None:
+                weight_array = np.array(weights, dtype=float)
+                weight_array /= weight_array.sum()
+                length_cdf = weight_array.cumsum()
+                length_cdf /= length_cdf[-1]
+                length_cdfs[key] = length_cdf
             originations: list[Origination] = []
             org_id = record.org_id
             # Legacy space predates the RIR system and sits almost
@@ -484,7 +510,9 @@ class _BuildContext:
                 else 0.1
             )
             for _ in range(count):
-                length = int(self.rng.choice(lengths, p=weight_array))
+                length = lengths[
+                    int(length_cdf.searchsorted(self.rng.random(), side="right"))
+                ]
                 legacy = (
                     self.rng.random()
                     < legacy_scale

@@ -112,13 +112,39 @@ class _Builder:
     by_category: dict[ASCategory, list[int]] = field(default_factory=dict)
     #: Running customer degree for preferential attachment.
     degree: dict[int, int] = field(default_factory=dict)
+    #: Memoised attachment weight per AS — recomputed only on a degree
+    #: bump (~one per edge) instead of per candidate scan (~one per
+    #: candidate per choose_providers call).  Each cached value comes
+    #: from the same scalar expression the scan used, so the sampling
+    #: probabilities (and hence every rng draw) are bit-identical.
+    weight_of: dict[int, float] = field(default_factory=dict)
+    #: The same weights as parallel per-category lists (aligned with
+    #: ``by_category``), so sampling from a whole category pool skips
+    #: the per-candidate dict walk.
+    weight_lists: dict[ASCategory, list[float]] = field(default_factory=dict)
+    #: AS → (category, index into its ``by_category`` list).
+    _cat_pos: dict[int, tuple[ASCategory, int]] = field(default_factory=dict)
     #: ASNs that exist only as quiescent siblings.
     quiescent: set[int] = field(default_factory=set)
+    _country_cache: dict[str, tuple[list[str], np.ndarray]] = field(
+        default_factory=dict
+    )
 
     def pick_country(self, pool: str) -> str:
-        names = [c for c, _ in _COUNTRY_POOL[pool]]
-        weights = np.array([w for _, w in _COUNTRY_POOL[pool]])
-        return str(self.rng.choice(names, p=weights / weights.sum()))
+        cached = self._country_cache.get(pool)
+        if cached is None:
+            names = [c for c, _ in _COUNTRY_POOL[pool]]
+            weights = np.array([w for _, w in _COUNTRY_POOL[pool]])
+            p = weights / weights.sum()
+            # rng.choice(names, p=p) draws one uniform double and inverts
+            # it through p's cdf; doing that directly skips choice's
+            # per-call validation while consuming the same bit-stream.
+            cdf = p.cumsum()
+            cdf /= cdf[-1]
+            cached = (names, cdf)
+            self._country_cache[pool] = cached
+        names, cdf = cached
+        return names[int(cdf.searchsorted(self.rng.random(), side="right"))]
 
     def new_org(self, name_prefix: str, country: str) -> Organization:
         org = Organization(f"ORG-{self.next_org:05d}", f"{name_prefix}-{self.next_org}", country)
@@ -137,13 +163,22 @@ class _Builder:
             category=category,
         )
         self.topology.add_as(record)
-        self.by_category.setdefault(category, []).append(asn)
+        pool = self.by_category.setdefault(category, [])
+        self._cat_pos[asn] = (category, len(pool))
+        pool.append(asn)
         self.degree[asn] = 0
+        weight = self._weight(asn)
+        self.weight_of[asn] = weight
+        self.weight_lists.setdefault(category, []).append(weight)
         return asn
 
     def add_provider(self, provider: int, customer: int) -> None:
         self.topology.add_link(provider, customer, Relationship.PROVIDER_CUSTOMER)
         self.degree[provider] += 1
+        weight = self._weight(provider)
+        self.weight_of[provider] = weight
+        category, position = self._cat_pos[provider]
+        self.weight_lists[category][position] = weight
 
     def _weight(self, asn: int) -> float:
         bias = 1.0
@@ -156,7 +191,13 @@ class _Builder:
         if not candidates:
             raise TopologyError("no provider candidates available")
         count = min(count, len(candidates))
-        weights = np.array([self._weight(c) for c in candidates])
+        for category, pool in self.by_category.items():
+            if candidates is pool:
+                weights = np.array(self.weight_lists[category])
+                break
+        else:
+            weight_of = self.weight_of
+            weights = np.array([weight_of[c] for c in candidates])
         picks = self.rng.choice(
             len(candidates), size=count, replace=False, p=weights / weights.sum()
         )

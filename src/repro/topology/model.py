@@ -15,6 +15,8 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Iterable, Iterator
 
+import numpy as np
+
 from repro.errors import TopologyError
 from repro.net.asn import validate_asn
 from repro.registry.rir import RIR
@@ -25,7 +27,63 @@ __all__ = [
     "Organization",
     "Relationship",
     "ASTopology",
+    "TopologyCSR",
 ]
+
+
+class TopologyCSR:
+    """The AS graph frozen into compressed-sparse-row edge arrays.
+
+    One row per AS in ascending-ASN order; per relationship kind an
+    ``(indptr, indices)`` pair where ``indices[indptr[i]:indptr[i+1]]``
+    are the row numbers of AS ``asns[i]``'s neighbours, themselves in
+    ascending-ASN order (matching the sorted-neighbour iteration the
+    propagation engine uses).  Built once per topology state and reused
+    by every columnar kernel that walks adjacency.
+    """
+
+    __slots__ = (
+        "asns",
+        "index_of",
+        "provider_indptr",
+        "provider_indices",
+        "customer_indptr",
+        "customer_indices",
+        "peer_indptr",
+        "peer_indices",
+    )
+
+    def __init__(
+        self,
+        ases: dict[int, set[int]] | list[int],
+        providers: dict[int, set[int]],
+        customers: dict[int, set[int]],
+        peers: dict[int, set[int]],
+    ):
+        asns = sorted(ases)
+        self.asns = np.array(asns, dtype=np.int64)
+        self.index_of = {asn: i for i, asn in enumerate(asns)}
+        for name, adjacency in (
+            ("provider", providers),
+            ("customer", customers),
+            ("peer", peers),
+        ):
+            indptr = np.zeros(len(asns) + 1, dtype=np.int32)
+            flat: list[int] = []
+            for i, asn in enumerate(asns):
+                flat.extend(self.index_of[n] for n in sorted(adjacency[asn]))
+                indptr[i + 1] = len(flat)
+            setattr(self, f"{name}_indptr", indptr)
+            setattr(
+                self, f"{name}_indices", np.array(flat, dtype=np.int32)
+            )
+
+    def neighbors(self, kind: str, row: int) -> np.ndarray:
+        """Neighbour rows of ``row`` for ``kind`` in {provider, customer,
+        peer} (ascending-ASN order)."""
+        indptr = getattr(self, f"{kind}_indptr")
+        indices = getattr(self, f"{kind}_indices")
+        return indices[indptr[row] : indptr[row + 1]]
 
 
 class ASCategory(str, Enum):
@@ -87,6 +145,7 @@ class ASTopology:
         self._peers: dict[int, set[int]] = {}
         self._cone_cache: dict[int, frozenset[int]] | None = None
         self._rank_cache: dict[int, int] | None = None
+        self._csr_cache: TopologyCSR | None = None
 
     # -- construction ------------------------------------------------------
 
@@ -135,6 +194,15 @@ class ASTopology:
     def _invalidate(self) -> None:
         self._cone_cache = None
         self._rank_cache = None
+        self._csr_cache = None
+
+    def csr(self) -> TopologyCSR:
+        """The topology's edge arrays (cached; rebuilt after mutation)."""
+        if self._csr_cache is None:
+            self._csr_cache = TopologyCSR(
+                self._ases, self._providers, self._customers, self._peers
+            )
+        return self._csr_cache
 
     # -- lookups -----------------------------------------------------------
 

@@ -1,0 +1,283 @@
+"""Property-based equivalence: columnar kernels vs pure-Python references.
+
+Every kernel in ``repro.kernels`` must be byte-identical to the Python
+reference path it shadows.  The golden-digest suite pins that end to end
+on two fixed worlds; these tests pin it property-by-property on
+*generated* inputs, where Hypothesis explores corner cases (empty
+inputs, duplicate prefixes, AS0 entries, shared covering sets) a fixed
+world may never hit.
+
+Each test drives the public API with ``REPRO_KERNELS`` flipped between
+modes and asserts full equality, so the suite is meaningful regardless
+of the ambient mode it runs under.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from contextlib import contextmanager
+from datetime import date
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bgp.collector import RouteGroup
+from repro.bgp.policy import RouteClass
+from repro.bgp.propagation import PropagationEngine
+from repro.ihr.pipeline import _transit_groups_numpy, _transit_groups_python
+from repro.irr.database import IRRDatabase
+from repro.irr.objects import RouteObject
+from repro.irr.validation import validate_irr_many
+from repro.kernels import kernel_mode
+from repro.kernels.intervals import union_address_count
+from repro.net.prefix import Prefix, aggregate_address_count
+from repro.registry.rir import RIR
+from repro.rpki.roa import VRP
+from repro.rpki.rov import ROVValidator
+from repro.scenario.timeline import Timeline
+from repro.topology.model import (
+    ASCategory,
+    ASTopology,
+    AutonomousSystem,
+    Organization,
+    Relationship,
+)
+
+GOLDENS = Path(__file__).parent / "goldens" / "world_digests.json"
+
+
+@contextmanager
+def kernel_env(mode: str):
+    """Temporarily force ``REPRO_KERNELS`` to ``mode``."""
+    previous = os.environ.get("REPRO_KERNELS")
+    os.environ["REPRO_KERNELS"] = mode
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop("REPRO_KERNELS", None)
+        else:
+            os.environ["REPRO_KERNELS"] = previous
+
+
+# -- strategies -------------------------------------------------------------
+
+ASNS = st.integers(min_value=1, max_value=64)
+
+
+@st.composite
+def v4_prefixes(draw) -> Prefix:
+    length = draw(st.integers(min_value=8, max_value=32))
+    key = draw(st.integers(min_value=0, max_value=(1 << length) - 1))
+    return Prefix(key << (32 - length), length, 4)
+
+
+@st.composite
+def v6_prefixes(draw) -> Prefix:
+    length = draw(st.integers(min_value=16, max_value=64))
+    key = draw(st.integers(min_value=0, max_value=(1 << length) - 1))
+    return Prefix(key << (128 - length), length, 6)
+
+
+PREFIXES = st.one_of(v4_prefixes(), v6_prefixes())
+
+
+@st.composite
+def vrps(draw) -> VRP:
+    prefix = draw(PREFIXES)
+    # AS0 entries exercise the "covers but never origin-matches" rule.
+    asn = draw(st.one_of(st.just(0), ASNS))
+    max_length = draw(st.integers(min_value=prefix.length, max_value=prefix.bits))
+    return VRP(
+        prefix=prefix, asn=asn, max_length=max_length, trust_anchor=RIR.RIPE
+    )
+
+
+ROUTES = st.lists(st.tuples(PREFIXES, ASNS), max_size=40)
+
+
+# -- route classification ---------------------------------------------------
+
+
+class TestClassificationEquivalence:
+    @settings(max_examples=60, deadline=None)
+    @given(vrp_list=st.lists(vrps(), max_size=30), routes=ROUTES)
+    def test_rov_interval_classify_matches_trie(self, vrp_list, routes):
+        results = {}
+        for mode in ("python", "numpy"):
+            with kernel_env(mode):
+                results[mode] = ROVValidator(vrp_list).validate_many(routes)
+        assert results["python"] == results["numpy"]
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        objects=st.lists(st.tuples(PREFIXES, ASNS), max_size=30),
+        routes=ROUTES,
+    )
+    def test_irr_interval_classify_matches_trie(self, objects, routes):
+        results = {}
+        for mode in ("python", "numpy"):
+            database = IRRDatabase("TEST")
+            for prefix, origin in objects:
+                database.add_route(
+                    RouteObject(prefix=prefix, origin=origin, source="TEST")
+                )
+            with kernel_env(mode):
+                results[mode] = validate_irr_many(database, routes)
+        assert results["python"] == results["numpy"]
+
+
+# -- address-space accounting ----------------------------------------------
+
+
+class TestUnionAddressCount:
+    @settings(max_examples=80, deadline=None)
+    @given(prefixes=st.lists(v4_prefixes(), max_size=40))
+    def test_matches_aggregate_address_count(self, prefixes):
+        ordered = sorted(prefixes, key=lambda p: (p.first, p.length))
+        firsts = np.array([p.first for p in ordered], dtype=np.int64)
+        lasts = np.array([p.last for p in ordered], dtype=np.int64)
+        assert union_address_count(firsts, lasts) == aggregate_address_count(
+            prefixes
+        )
+
+
+# -- hegemony transit groups ------------------------------------------------
+
+
+@st.composite
+def transit_scenarios(draw):
+    """A tiny topology plus route groups whose paths stay inside it."""
+    asns = draw(
+        st.lists(
+            st.integers(min_value=10, max_value=40),
+            min_size=2,
+            max_size=10,
+            unique=True,
+        )
+    )
+    topology = ASTopology()
+    topology.add_org(Organization("ORG-T", "Test Org", "ZZ"))
+    for asn in asns:
+        topology.add_as(
+            AutonomousSystem(
+                asn=asn,
+                org_id="ORG-T",
+                country="ZZ",
+                rir=RIR.RIPE,
+                category=ASCategory.STUB,
+            )
+        )
+    # Random provider→customer edges (drives the from-customer flags).
+    pairs = [(a, b) for a in asns for b in asns if a != b]
+    for a, b in draw(
+        st.lists(st.sampled_from(pairs), max_size=6, unique=True)
+    ):
+        if b not in topology.neighbors(a):
+            topology.add_link(a, b, Relationship.PROVIDER_CUSTOMER)
+    member = st.sampled_from(asns)
+    paths = st.lists(
+        st.lists(member, min_size=2, max_size=6).map(tuple),
+        min_size=1,
+        max_size=8,
+    )
+    groups = []
+    statuses = []
+    for gi in range(draw(st.integers(min_value=1, max_value=4))):
+        group_paths = {path[0]: path for path in draw(paths)}
+        prefix = Prefix((10 << 24) + (gi << 8), 24, 4)
+        groups.append(
+            RouteGroup(
+                origin=draw(member),
+                route_class=RouteClass(),
+                prefixes=(prefix,),
+                paths=group_paths,
+            )
+        )
+        statuses.append((("valid", "valid"),))
+    return topology, groups, statuses
+
+
+class TestTransitGroups:
+    @settings(max_examples=50, deadline=None)
+    @given(scenario=transit_scenarios())
+    def test_numpy_matches_python(self, scenario):
+        topology, groups, statuses = scenario
+        reference = _transit_groups_python(groups, statuses, topology, 0.1)
+        columnar = _transit_groups_numpy(groups, statuses, topology, 0.1)
+        assert columnar == reference
+        # Insertion order of each transits dict is part of the contract
+        # (it feeds serialisation, hence the golden digests).
+        for left, right in zip(columnar, reference):
+            assert list(left.transits) == list(right.transits)
+
+
+# -- batched propagation ----------------------------------------------------
+
+
+class TestBatchPaths:
+    def test_paths_to_many_matches_scalar(self, small_world):
+        engine = PropagationEngine(
+            small_world.topology, small_world.policies, paths_cache_size=0
+        )
+        keys = [
+            (group.origin, group.route_class)
+            for group in small_world.rib.groups
+        ]
+        batched = engine.paths_to_many(keys, small_world.vantage_points)
+        for (origin, route_class), paths in zip(keys, batched):
+            reference = engine.paths_to(
+                origin, small_world.vantage_points, route_class
+            )
+            assert paths == reference
+            assert list(paths) == list(reference)
+
+    def test_cached_replay_matches_scalar(self, small_world):
+        cached = PropagationEngine(small_world.topology, small_world.policies)
+        scalar = PropagationEngine(small_world.topology, small_world.policies)
+        keys = [
+            (group.origin, group.route_class)
+            for group in small_world.rib.groups[:64]
+        ]
+        keys = keys + keys  # replay: second half must come from the cache
+        batched = cached.paths_to_many(keys, small_world.vantage_points)
+        # At least the duplicated half hits (distinct RouteClass values
+        # may share a filter signature, so there can be a few more).
+        assert cached.cache_info()["hits"] >= len(keys) // 2
+        for (origin, route_class), paths in zip(keys, batched):
+            assert paths == scalar.paths_to(
+                origin, small_world.vantage_points, route_class
+            )
+
+
+# -- timeline and goldens ---------------------------------------------------
+
+
+class TestEndToEndEquivalence:
+    def test_saturation_series_matches(self, small_world):
+        results = {}
+        for mode in ("python", "numpy"):
+            with kernel_env(mode):
+                results[mode] = Timeline(small_world).saturation_series()
+        assert results["python"] == results["numpy"]
+
+    @pytest.mark.parametrize("mode", ["python", "numpy"])
+    def test_golden_digest_per_mode(self, mode):
+        from repro.datasets.checkpoint import world_digest
+        from repro.scenario.build import _build_world
+
+        entry = next(
+            e
+            for e in json.loads(GOLDENS.read_text())["entries"]
+            if e["scale"] == 0.05
+        )
+        with kernel_env(mode):
+            assert kernel_mode() == mode
+            world = _build_world(
+                entry["scale"], entry["seed"], None, None, None, None
+            )
+        assert world_digest(world) == entry["world_digest"]

@@ -153,7 +153,7 @@ class TestPropagationMemo:
                 assert first == again == plain
         assert cached.cache_info()["hits"] > 0
         assert uncached.cache_info() == {
-            "hits": 0, "misses": 0, "size": 0, "max_size": 0
+            "hits": 0, "misses": 0, "evictions": 0, "size": 0, "max_size": 0
         }
 
     def test_equal_signatures_share_one_entry(self, small_world):
