@@ -10,7 +10,7 @@ SCALE ?= 1.0
 LABEL ?= local
 SMOKE_BUDGET ?= 120
 
-.PHONY: test lint bench bench-pytest bench-smoke profile smoke-profile trace-smoke sweep-smoke
+.PHONY: test lint bench bench-pytest bench-smoke bench-compare profile smoke-profile trace-smoke sweep-smoke scale-smoke
 
 ## Tier-1 test suite (unit + integration + equivalence).
 test:
@@ -45,6 +45,19 @@ bench-pytest:
 ## under REPRO_KERNELS=python and =numpy (uncached builds, both modes).
 bench-smoke:
 	$(PYTHON) scripts/check_kernel_parity.py --scale 0.1
+
+## Shard-parity tripwire: a scale-0.5 world built with 2 column shards
+## on 2 workers must be digest-identical to the single-process build,
+## and to its own checkpoint re-opened mmap'd and eagerly.
+scale-smoke:
+	$(PYTHON) scripts/check_shard_parity.py --scale 0.5 --shards 2 --jobs 2
+
+## Perf soft gate: one quick benchmark run compared against the
+## committed baseline; exits 3 on >25% regression or digest drift.
+bench-compare:
+	$(PYTHON) benchmarks/run.py --label compare --scale 0.3 --rounds 3 \
+		--scale-sweep 0.3 --output-dir /tmp \
+		--compare benchmarks/BASELINE.json
 
 ## Stage-level wall-clock breakdown of one full-scale build.
 profile:

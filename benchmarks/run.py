@@ -15,6 +15,8 @@ Usage::
     PYTHONPATH=src python benchmarks/run.py --experiments          # + registry
     PYTHONPATH=src python benchmarks/run.py --kernels              # + per-kernel
     PYTHONPATH=src python benchmarks/run.py --sweep                # + orchestrator
+    PYTHONPATH=src python benchmarks/run.py --scale-sweep 0.5 1 2  # + per-scale
+    PYTHONPATH=src python benchmarks/run.py --compare BASELINE.json
 
 ``--experiments`` additionally times every experiment in
 ``repro.experiments.REGISTRY`` once on a built world, recording one
@@ -25,6 +27,18 @@ counters such as cache hit rates and routes propagated).
 ``--smoke`` runs one round at ``--scale 0.3`` (unless overridden) and
 exits 1 if the end-to-end mean exceeds ``--budget`` seconds — a cheap
 regression tripwire for CI.
+
+``--scale-sweep S1 S2 ...`` measures each scale in a *fresh
+subprocess* (so peak RSS is per-scale, not cumulative): one cold
+sharded build + checkpoint save, one warm memory-mapped columnar load,
+one warm eager load — recording wall time, peak RSS
+(``resource.getrusage``) and the world digest per point.  The three
+digests must agree; the rows land under ``scale_sweep`` in the JSON.
+
+``--compare BASELINE.json`` re-reads a committed baseline payload after
+the run and exits 3 if any shared benchmark's mean regressed by more
+than ``--compare-threshold`` (default 25%) or any digest drifted —
+the CI soft gate.
 
 ``--sweep`` measures the ``repro.sweep`` orchestrator: an 8-job grid
 (one experiment, 8 seeds at ``--sweep-scale``) is run once to warm a
@@ -62,7 +76,16 @@ from repro.scenario.build import build_world  # noqa: E402
 from repro.scenario.timeline import Timeline  # noqa: E402
 
 
-def run_warm_start(scale: float, seed: int, jobs: int | None) -> dict:
+def peak_rss_mb() -> float:
+    """This process's high-water RSS in MiB (``ru_maxrss`` is KiB on Linux)."""
+    import resource
+
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+
+
+def run_warm_start(
+    scale: float, seed: int, jobs: int | None, shards: int | None = None
+) -> dict:
     """Cold-build vs checkpoint-load timings for one world.
 
     Builds cold, saves a checkpoint into a temporary store, loads it
@@ -77,7 +100,7 @@ def run_warm_start(scale: float, seed: int, jobs: int | None) -> dict:
     from repro.scenario.config import ScenarioConfig
 
     start = time.perf_counter()
-    world = build_world(scale=scale, seed=seed, jobs=jobs)
+    world = build_world(scale=scale, seed=seed, jobs=jobs, shards=shards)
     cold = time.perf_counter() - start
 
     with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as tmp:
@@ -297,6 +320,188 @@ def run_kernels(
     return results
 
 
+def run_scale_point(
+    scale: float,
+    seed: int,
+    jobs: int | None,
+    shards: int | None,
+    mode: str,
+    store_dir: Path,
+) -> int:
+    """One measured point of the scale sweep, inside this process.
+
+    Invoked by :func:`run_scale_sweep` as a subprocess so ``ru_maxrss``
+    reflects exactly one scale and one load strategy.  Emits a single
+    JSON line on stdout.
+    """
+    from repro.datasets.checkpoint import CheckpointStore, world_digest
+    from repro.scenario.config import ScenarioConfig
+
+    store = CheckpointStore(store_dir)
+    if mode == "cold":
+        start = time.perf_counter()
+        world = build_world(scale=scale, seed=seed, jobs=jobs, shards=shards)
+        seconds = time.perf_counter() - start
+        rss_stage = peak_rss_mb()
+        start = time.perf_counter()
+        store.save(world)
+        save_seconds = time.perf_counter() - start
+    else:
+        load_mode = "columnar" if mode == "warm-lazy" else "eager"
+        start = time.perf_counter()
+        world = store.load(ScenarioConfig(), scale, seed, mode=load_mode)
+        seconds = time.perf_counter() - start
+        rss_stage = peak_rss_mb()
+        save_seconds = None
+        if world is None:
+            print(f"scale point: no checkpoint in {store_dir}", file=sys.stderr)
+            return 1
+    start = time.perf_counter()
+    digest = world_digest(world)
+    digest_seconds = time.perf_counter() - start
+    point = {
+        "mode": mode,
+        "scale": scale,
+        "seed": seed,
+        "shards": shards,
+        "seconds": seconds,
+        "digest_seconds": digest_seconds,
+        # RSS right after the stage (build or load) vs after the digest
+        # walked every field — the gap is what laziness saves.
+        "peak_rss_mb_stage": rss_stage,
+        "peak_rss_mb": peak_rss_mb(),
+        "world_digest": digest,
+    }
+    if save_seconds is not None:
+        point["save_seconds"] = save_seconds
+    print(json.dumps(point))
+    return 0
+
+
+def run_scale_sweep(
+    scales: list[float], seed: int, jobs: int | None, shards: int | None
+) -> list[dict]:
+    """Cold build vs warm mmap/eager load, one fresh subprocess each.
+
+    Returns one row per scale: wall time and peak RSS for the cold
+    sharded build, the memory-mapped columnar load, and the eager load,
+    plus a three-way digest-equality verdict.
+    """
+    import tempfile
+
+    rows: list[dict] = []
+    with tempfile.TemporaryDirectory(prefix="repro-bench-scale-") as tmp:
+        for scale in scales:
+            store_dir = Path(tmp) / f"scale-{scale}"
+            points: dict[str, dict] = {}
+            for mode in ("cold", "warm-lazy", "warm-eager"):
+                cmd = [
+                    sys.executable,
+                    str(Path(__file__).resolve()),
+                    "--scale-point", str(scale),
+                    "--point-mode", mode,
+                    "--store", str(store_dir),
+                    "--seed", str(seed),
+                ]
+                if jobs is not None:
+                    cmd += ["--jobs", str(jobs)]
+                if shards is not None:
+                    cmd += ["--shards", str(shards)]
+                proc = subprocess.run(cmd, capture_output=True, text=True)
+                if proc.returncode != 0:
+                    raise RuntimeError(
+                        f"scale point {scale}/{mode} failed:\n{proc.stderr}"
+                    )
+                points[mode] = json.loads(
+                    proc.stdout.strip().splitlines()[-1]
+                )
+            digests = {p["world_digest"] for p in points.values()}
+            row = {
+                "scale": scale,
+                "seed": seed,
+                "shards": shards,
+                "world_digest": points["cold"]["world_digest"],
+                "digest_equal": len(digests) == 1,
+                "cold": points["cold"],
+                "warm_lazy": points["warm-lazy"],
+                "warm_eager": points["warm-eager"],
+            }
+            rows.append(row)
+            print(
+                f"scale {scale}: cold={row['cold']['seconds']:.2f}s "
+                f"({row['cold']['peak_rss_mb']:.0f}MB) "
+                f"lazy={row['warm_lazy']['seconds']:.3f}s "
+                f"({row['warm_lazy']['peak_rss_mb_stage']:.0f}MB at load) "
+                f"eager={row['warm_eager']['seconds']:.3f}s "
+                f"({row['warm_eager']['peak_rss_mb']:.0f}MB) "
+                f"digest_equal={row['digest_equal']}",
+                file=sys.stderr,
+            )
+    return rows
+
+
+def compare_payloads(
+    current: dict, baseline: dict, threshold: float
+) -> list[str]:
+    """Regression problems in ``current`` relative to ``baseline``.
+
+    Flags any shared top-level benchmark whose mean slowed by more than
+    ``threshold`` (fractional), any digest-equality flag that went
+    false, and any scale-sweep digest that drifted from the baseline's
+    digest at the same (scale, seed).  Empty list = gate passes.
+    """
+    problems: list[str] = []
+    base_benchmarks = baseline.get("benchmarks", {})
+    for name, stats in current.get("benchmarks", {}).items():
+        base = base_benchmarks.get(name)
+        if not base:
+            continue
+        # Compare best-of-rounds, not the mean: on small shared runners
+        # the min is far less sensitive to scheduler noise.
+        base_time = base.get("min", base.get("mean", 0))
+        time_now = stats.get("min", stats.get("mean", 0))
+        if base_time <= 0:
+            continue
+        ratio = time_now / base_time
+        if ratio > 1.0 + threshold:
+            problems.append(
+                f"{name}: {time_now:.3f}s is {ratio:.2f}x baseline "
+                f"{base_time:.3f}s (limit {1.0 + threshold:.2f}x)"
+            )
+    warm = current.get("warm_start")
+    if warm is not None and not warm.get("digest_equal", True):
+        problems.append("warm_start: cold/warm digest drift")
+    current_rows = {
+        (row["scale"], row["seed"]): row
+        for row in current.get("scale_sweep", [])
+    }
+    for row in current.get("scale_sweep", []):
+        if not row.get("digest_equal", True):
+            problems.append(
+                f"scale_sweep {row['scale']}: cold/lazy/eager digest drift"
+            )
+    for base_row in baseline.get("scale_sweep", []):
+        row = current_rows.get((base_row["scale"], base_row["seed"]))
+        if row is None:
+            continue
+        if base_row.get("world_digest") != row.get("world_digest"):
+            problems.append(
+                f"scale_sweep {row['scale']}: digest drifted from baseline "
+                f"({base_row.get('world_digest')} -> "
+                f"{row.get('world_digest')})"
+            )
+        # Sweep points are single runs, so allow twice the tolerance
+        # before calling a regression.
+        base_cold = base_row.get("cold", {}).get("seconds", 0)
+        cold = row.get("cold", {}).get("seconds", 0)
+        if base_cold > 0 and cold / base_cold > 1.0 + 2 * threshold:
+            problems.append(
+                f"scale_sweep {row['scale']}: cold build {cold:.2f}s is "
+                f"{cold / base_cold:.2f}x baseline {base_cold:.2f}s"
+            )
+    return problems
+
+
 def git_rev() -> str:
     try:
         out = subprocess.run(
@@ -322,14 +527,18 @@ def summarize(samples: list[float]) -> dict:
 
 
 def run_rounds(
-    scale: float, seed: int, jobs: int | None, rounds: int
+    scale: float,
+    seed: int,
+    jobs: int | None,
+    rounds: int,
+    shards: int | None = None,
 ) -> dict[str, dict]:
     build_samples: list[float] = []
     timeline_samples: list[float] = []
     total_samples: list[float] = []
     for i in range(rounds):
         start = time.perf_counter()
-        world = build_world(scale=scale, seed=seed, jobs=jobs)
+        world = build_world(scale=scale, seed=seed, jobs=jobs, shards=shards)
         build_elapsed = time.perf_counter() - start
 
         start = time.perf_counter()
@@ -387,6 +596,43 @@ def main(argv: list[str] | None = None) -> int:
         help="worker processes for collect_rib (default: REPRO_JOBS env)",
     )
     parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="column shards for the build stages (default: REPRO_SHARDS env)",
+    )
+    parser.add_argument(
+        "--scale-sweep",
+        type=float,
+        nargs="+",
+        default=None,
+        metavar="SCALE",
+        help="also measure these scales (cold/lazy/eager, fresh subprocess "
+        "each) and record the rows under scale_sweep",
+    )
+    parser.add_argument(
+        "--compare",
+        type=Path,
+        default=None,
+        metavar="BASELINE.json",
+        help="after the run, exit 3 on >threshold regression or digest "
+        "drift versus this committed baseline payload",
+    )
+    parser.add_argument(
+        "--compare-threshold",
+        type=float,
+        default=0.25,
+        help="fractional slowdown tolerated by --compare (default: 0.25)",
+    )
+    # Internal: one subprocess-measured point of --scale-sweep.
+    parser.add_argument("--scale-point", type=float, help=argparse.SUPPRESS)
+    parser.add_argument(
+        "--point-mode",
+        choices=("cold", "warm-lazy", "warm-eager"),
+        help=argparse.SUPPRESS,
+    )
+    parser.add_argument("--store", type=Path, help=argparse.SUPPRESS)
+    parser.add_argument(
         "--experiments",
         action="store_true",
         help="also time every registry experiment on one built world",
@@ -434,6 +680,18 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
+    if args.scale_point is not None:
+        if args.point_mode is None or args.store is None:
+            parser.error("--scale-point requires --point-mode and --store")
+        return run_scale_point(
+            args.scale_point,
+            args.seed,
+            args.jobs,
+            args.shards,
+            args.point_mode,
+            args.store,
+        )
+
     rounds = 1 if args.smoke else args.rounds
     scale = args.scale if args.scale is not None else (0.3 if args.smoke else 1.0)
 
@@ -446,9 +704,16 @@ def main(argv: list[str] | None = None) -> int:
         if args.sweep
         else None
     )
-    benchmarks = run_rounds(scale, args.seed, args.jobs, rounds)
+    # Scale-sweep points run in fresh subprocesses, so ordering versus
+    # the in-process phases does not contaminate their RSS readings.
+    scale_sweep = (
+        run_scale_sweep(args.scale_sweep, args.seed, args.jobs, args.shards)
+        if args.scale_sweep
+        else None
+    )
+    benchmarks = run_rounds(scale, args.seed, args.jobs, rounds, args.shards)
     warm_start = None if args.no_warm_start else run_warm_start(
-        scale, args.seed, args.jobs
+        scale, args.seed, args.jobs, args.shards
     )
     experiments = (
         run_experiments(scale, args.seed, args.jobs)
@@ -465,10 +730,12 @@ def main(argv: list[str] | None = None) -> int:
         "scale": scale,
         "seed": args.seed,
         "jobs": args.jobs,
+        "shards": args.shards,
         "rounds": rounds,
         "git_rev": git_rev(),
         "python": platform.python_version(),
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "peak_rss_mb": peak_rss_mb(),
         "benchmarks": benchmarks,
         # Spans are omitted: BENCH files track the flat per-stage
         # timings and process counters, not every round's trace tree.
@@ -476,6 +743,8 @@ def main(argv: list[str] | None = None) -> int:
     }
     if warm_start is not None:
         payload["warm_start"] = warm_start
+    if scale_sweep is not None:
+        payload["scale_sweep"] = scale_sweep
     if experiments is not None:
         payload["experiments"] = experiments
     if kernel_benchmarks is not None:
@@ -494,6 +763,18 @@ def main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
         return 1
+    if args.compare is not None:
+        baseline = json.loads(args.compare.read_text())
+        problems = compare_payloads(payload, baseline, args.compare_threshold)
+        if problems:
+            for problem in problems:
+                print(f"COMPARE FAIL: {problem}", file=sys.stderr)
+            return 3
+        print(
+            f"compare: no regression versus {args.compare} "
+            f"(threshold {args.compare_threshold:.0%})",
+            file=sys.stderr,
+        )
     return 0
 
 

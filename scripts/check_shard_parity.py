@@ -1,0 +1,92 @@
+"""Shard-parity smoke: sharded builds and mapped loads change nothing.
+
+Builds the same (scale, seed) world twice — once serially and once with
+the build stages sharded across worker processes (``--shards``, fanned
+over ``--jobs`` workers) — bypassing every cache, and fails unless the
+two worlds hash to the same digest.  The sharded world is then pushed
+through a checkpoint round-trip and re-opened both eagerly and as a
+memory-mapped columnar world; all four digests must agree.  This is the
+CI gate behind ``make scale-smoke``.
+
+Usage::
+
+    PYTHONPATH=src python scripts/check_shard_parity.py --scale 0.5 \
+        --shards 2 --jobs 2
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.datasets.checkpoint import (  # noqa: E402
+    CheckpointStore,
+    world_digest,
+)
+from repro.scenario.build import _build_world  # noqa: E402
+from repro.scenario.config import ScenarioConfig  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=0.5)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--shards", type=int, default=2)
+    parser.add_argument("--jobs", type=int, default=2)
+    args = parser.parse_args(argv)
+
+    digests: dict[str, str] = {}
+    timings: dict[str, float] = {}
+
+    start = time.perf_counter()
+    serial = _build_world(args.scale, args.seed, None, None, None, None, 1)
+    timings["serial"] = time.perf_counter() - start
+    digests["serial"] = world_digest(serial)
+    del serial
+
+    start = time.perf_counter()
+    sharded = _build_world(
+        args.scale, args.seed, None, None, None, args.jobs, args.shards
+    )
+    timings["sharded"] = time.perf_counter() - start
+    digests["sharded"] = world_digest(sharded)
+
+    with tempfile.TemporaryDirectory(prefix="repro-shard-parity-") as tmp:
+        store = CheckpointStore(tmp)
+        store.save(sharded)
+        del sharded
+        for label, mode in (("mmap", "columnar"), ("eager", "eager")):
+            start = time.perf_counter()
+            world = store.load(
+                ScenarioConfig(), args.scale, args.seed, mode=mode
+            )
+            timings[label] = time.perf_counter() - start
+            if world is None:
+                print(f"SHARD PARITY FAIL: {label} load missed", file=sys.stderr)
+                return 1
+            digests[label] = world_digest(world)
+            del world
+
+    for label in digests:
+        print(
+            f"{label}: {timings[label]:.3f}s digest={digests[label][:16]}…",
+            file=sys.stderr,
+        )
+    if len(set(digests.values())) != 1:
+        lines = "\n".join(f"  {k}: {v}" for k, v in digests.items())
+        print(f"SHARD PARITY FAIL: digests diverge\n{lines}", file=sys.stderr)
+        return 1
+    print(
+        f"shard parity OK at scale {args.scale} seed {args.seed} "
+        f"({args.shards} shards, {args.jobs} jobs)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -36,8 +36,10 @@ GOLDENS_PATH = (
 
 #: (scale, seed) points pinned by the suite.  The first matches the
 #: session-scoped ``small_world`` test fixture so the golden check reuses
-#: the already-built world instead of building a third one.
-DEFAULT_POINTS: list[tuple[float, int]] = [(0.12, 11), (0.05, 3)]
+#: the already-built world instead of building a third one; the 0.5
+#: point matches ``make scale-smoke`` so the sharded-parity gate and the
+#: golden suite pin the same world.
+DEFAULT_POINTS: list[tuple[float, int]] = [(0.12, 11), (0.05, 3), (0.5, 7)]
 
 
 def golden_entry(scale: float, seed: int) -> dict:

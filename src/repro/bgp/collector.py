@@ -25,6 +25,7 @@ serial path uses, so parallel and serial snapshots are identical.
 
 from __future__ import annotations
 
+import logging
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Sequence
@@ -36,10 +37,19 @@ from repro.bgp.announcement import Announcement, RibEntry
 from repro.bgp.policy import RouteClass
 from repro.bgp.propagation import PropagationEngine
 from repro.net.prefix import Prefix
+from repro.shard import (
+    check_shard_manifests,
+    pool_map,
+    resolve_shards,
+    shard_manifest,
+    split_evenly,
+)
 from repro.topology.classify import SizeClass, classify_all
 from repro.topology.model import ASTopology
 
 __all__ = ["RouteGroup", "RibSnapshot", "collect_rib", "select_vantage_points"]
+
+log = logging.getLogger(__name__)
 
 #: Below this many (origin, class) groups the pool overhead cannot pay
 #: for itself; collection stays serial regardless of ``jobs``.
@@ -164,6 +174,7 @@ def collect_rib(
     announcements: Iterable[tuple[Announcement, RouteClass]],
     vantage_points: Sequence[int],
     jobs: int | None = None,
+    shards: int | None = None,
 ) -> RibSnapshot:
     """Propagate every announcement and record vantage-point routes.
 
@@ -172,6 +183,12 @@ def collect_rib(
     output is identical either way: groups are keyed and emitted in one
     deterministic order, and each group's paths depend only on (origin,
     route class, vantage points).
+
+    ``shards`` (default: ``REPRO_SHARDS``, else 1) instead splits the
+    *vantage points* into contiguous chunks, each propagated by a worker
+    that emits packed path columns; the driver merges the column shards
+    in shard order, which reproduces the serial vantage-point iteration
+    order exactly — see DESIGN §13 for the determinism argument.
     """
     grouped: dict[tuple[int, RouteClass], list[Prefix]] = {}
     for announcement, route_class in announcements:
@@ -192,8 +209,13 @@ def collect_rib(
     # lookups (and before workers inherit the engine), so one snapshot's
     # groups never evict each other.
     engine.ensure_cache_capacity(len(keys))
+    shards = resolve_shards(shards)
     paths_by_key = None
-    if jobs > 1 and len(keys) >= MIN_PARALLEL_GROUPS:
+    if shards > 1 and len(vantage_points) > 1:
+        paths_by_key = _sharded_paths(
+            engine, keys, vantage_points, shards, jobs
+        )
+    if paths_by_key is None and jobs > 1 and len(keys) >= MIN_PARALLEL_GROUPS:
         paths_by_key = _parallel_paths(engine, keys, vantage_points, jobs)
     if paths_by_key is None:
         if kernels.use_numpy():
@@ -223,6 +245,7 @@ def collect_rib(
 # (cheaper than pickling the engine into every task).
 _worker_engine: PropagationEngine | None = None
 _worker_vantage_points: tuple[int, ...] = ()
+_worker_keys: list[tuple[int, RouteClass]] = []
 
 
 def _init_worker(
@@ -241,6 +264,102 @@ def _propagate_chunk(
         _worker_engine.paths_to(origin, _worker_vantage_points, route_class)
         for origin, route_class in keys
     ]
+
+
+def _init_shard_worker(
+    engine: PropagationEngine, keys: list[tuple[int, RouteClass]]
+) -> None:
+    global _worker_engine, _worker_keys
+    _worker_engine = engine
+    _worker_keys = keys
+
+
+def _propagate_vp_shard(task: tuple) -> tuple[dict, dict[str, np.ndarray]]:
+    """Propagate every route group onto one vantage-point chunk.
+
+    Emits a column shard: per-key selected vantage points plus their
+    flattened AS paths, with offset arrays delimiting both levels.  The
+    within-chunk entry order is the chunk's vantage-point order, exactly
+    as ``paths_to`` iterates it.
+    """
+    index, total, vp_chunk = task
+    assert _worker_engine is not None
+    vp_ids: list[int] = []
+    key_offsets = np.zeros(len(_worker_keys) + 1, dtype=np.int64)
+    path_values: list[int] = []
+    path_offsets: list[int] = [0]
+    for slot, (origin, route_class) in enumerate(_worker_keys):
+        paths = _worker_engine.paths_to(origin, vp_chunk, route_class)
+        for vantage_point, path in paths.items():
+            vp_ids.append(vantage_point)
+            path_values.extend(path)
+            path_offsets.append(len(path_values))
+        key_offsets[slot + 1] = len(vp_ids)
+    columns = {
+        "vp": np.asarray(vp_ids, dtype=np.int64),
+        "key_offsets": key_offsets,
+        "path_values": np.asarray(path_values, dtype=np.int64),
+        "path_offsets": np.asarray(path_offsets, dtype=np.int64),
+    }
+    return shard_manifest("collect_rib", index, total, len(vp_ids)), columns
+
+
+def _sharded_paths(
+    engine: PropagationEngine,
+    keys: list[tuple[int, RouteClass]],
+    vantage_points: tuple[int, ...],
+    shards: int,
+    jobs: int,
+) -> list[dict[int, tuple[int, ...]]] | None:
+    """Vantage-point-sharded collection; None falls back to other paths.
+
+    Chunks are contiguous slices of the vantage-point tuple and shards
+    merge in ascending index, so per-key path dicts are populated in the
+    exact order the serial ``paths_to`` inserts them — bit-identical
+    snapshots at any shard count.
+    """
+    chunks = split_evenly(vantage_points, shards)
+    total = len(chunks)
+    tasks = [(index, total, tuple(chunk)) for index, chunk in enumerate(chunks)]
+    obs.add("collect.vp_shards", total)
+    results = pool_map(
+        _propagate_vp_shard,
+        tasks,
+        workers=max(jobs, 1),
+        initializer=_init_shard_worker,
+        initargs=(engine, keys),
+    )
+    if results is None:
+        return None
+    problems = check_shard_manifests(
+        [manifest for manifest, _ in results], "collect_rib", total
+    )
+    if not problems:
+        for manifest, columns in results:
+            if int(columns["key_offsets"][-1]) != manifest["rows"]:
+                problems.append(
+                    f"shard {manifest['shard']}: row accounting mismatch"
+                )
+    if problems:
+        log.warning(
+            "discarding sharded collection (%s); recomputing unsharded",
+            "; ".join(problems),
+        )
+        obs.add("shard.discarded")
+        return None
+    paths_by_key: list[dict[int, tuple[int, ...]]] = [{} for _ in keys]
+    for _, columns in results:  # ascending shard index == vp order
+        vp_ids = columns["vp"].tolist()
+        key_offsets = columns["key_offsets"].tolist()
+        path_values = columns["path_values"].tolist()
+        path_offsets = columns["path_offsets"].tolist()
+        for slot in range(len(keys)):
+            merged = paths_by_key[slot]
+            for entry in range(key_offsets[slot], key_offsets[slot + 1]):
+                merged[vp_ids[entry]] = tuple(
+                    path_values[path_offsets[entry] : path_offsets[entry + 1]]
+                )
+    return paths_by_key
 
 
 def _parallel_paths(

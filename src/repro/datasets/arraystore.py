@@ -1,0 +1,187 @@
+"""Memory-mapped access to the checkpoint ``arrays.npz`` column store.
+
+``np.savez`` writes an *uncompressed* zip archive whose members are
+plain ``.npy`` blobs stored contiguously, so every column can be mapped
+straight out of the file instead of decoded into fresh allocations:
+:func:`open_columns` locates each member's data offset through the zip
+local-file headers and hands back ``np.memmap`` views.  A warm start
+then pays one page-cache walk for the columns an experiment actually
+touches, not an eager parse of the whole entry — the load-side half of
+the columnar-first world representation (DESIGN §13).
+
+Safety mirrors the checkpoint contract: anything unexpected — a
+truncated archive, a compressed member, a malformed npy header, a
+foreign dtype — logs a warning and falls back to the eager
+``np.load`` decode (and if *that* fails too, the caller's corrupt-entry
+handling discards the entry).  Mapped and eagerly loaded columns are
+bit-identical by construction; ``tests/test_columnar.py`` pins it.
+
+``REPRO_MMAP=0`` disables mapping process-wide (eager loads only), for
+filesystems where ``mmap`` is unavailable or regresses.
+"""
+
+from __future__ import annotations
+
+import logging
+import mmap as _mmap
+import os
+import struct
+import zipfile
+from pathlib import Path
+
+import numpy as np
+
+from repro import obs
+
+__all__ = ["ColumnSet", "mmap_enabled", "open_columns"]
+
+log = logging.getLogger(__name__)
+
+MMAP_ENV = "REPRO_MMAP"
+
+#: Zip local-file-header layout (PKZIP appnote 4.3.7): signature,
+#: version, flags, method, time, date, crc, csize, usize, namelen, extralen.
+_LOCAL_HEADER = struct.Struct("<4s5H3L2H")
+_LOCAL_MAGIC = b"PK\x03\x04"
+
+
+def mmap_enabled() -> bool:
+    """True unless ``REPRO_MMAP`` is set to 0/false/off/no."""
+    raw = os.environ.get(MMAP_ENV, "").strip().lower()
+    return raw not in ("0", "false", "off", "no")
+
+
+class ColumnSet:
+    """A read-only mapping of column name → ndarray.
+
+    Backed either by ``np.memmap`` views over one shared map of the
+    archive (``mapped=True``) or by an eagerly decoded ``np.load``
+    result.  Views materialise lazily: a consumer that only touches the
+    RIB columns never reads the ROA pages.
+    """
+
+    def __init__(self, path: Path, members: dict, handle, buffer, mapped: bool):
+        self._path = Path(path)
+        self._members = members  # name -> (dtype, shape, order, offset) | ndarray
+        self._handle = handle
+        self._buffer = buffer
+        self.mapped = mapped
+        self._views: dict[str, np.ndarray] = {}
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._members
+
+    def __iter__(self):
+        return iter(self._members)
+
+    def keys(self):
+        return self._members.keys()
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        view = self._views.get(name)
+        if view is None:
+            member = self._members[name]
+            if isinstance(member, np.ndarray):
+                view = member
+            else:
+                dtype, shape, fortran, offset = member
+                count = int(np.prod(shape, dtype=np.int64)) if shape else 1
+                view = np.frombuffer(
+                    self._buffer, dtype=dtype, count=count, offset=offset
+                )
+                view = view.reshape(shape, order="F" if fortran else "C")
+                obs.add("columns.mapped")
+            self._views[name] = view
+        return view
+
+    def close(self) -> None:
+        """Drop views and release the underlying map/handle."""
+        self._views.clear()
+        self._members = {}
+        if self._buffer is not None:
+            try:
+                self._buffer.close()
+            except (BufferError, ValueError):
+                pass  # live views still reference the map; the GC reaps it
+            self._buffer = None
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+def _member_layout(path: Path) -> dict[str, tuple]:
+    """Per-column (dtype, shape, fortran, data offset) from the archive.
+
+    Raises on anything that cannot be mapped verbatim: compressed
+    members, truncated headers, pickled/object dtypes.
+    """
+    members: dict[str, tuple] = {}
+    with zipfile.ZipFile(path) as archive, open(path, "rb") as raw:
+        for info in archive.infolist():
+            if info.compress_type != zipfile.ZIP_STORED:
+                raise ValueError(f"{info.filename}: compressed member")
+            raw.seek(info.header_offset)
+            header = raw.read(_LOCAL_HEADER.size)
+            fields = _LOCAL_HEADER.unpack(header)
+            if fields[0] != _LOCAL_MAGIC:
+                raise ValueError(f"{info.filename}: bad local header")
+            name_len, extra_len = fields[9], fields[10]
+            data_offset = (
+                info.header_offset + _LOCAL_HEADER.size + name_len + extra_len
+            )
+            raw.seek(data_offset)
+            version = np.lib.format.read_magic(raw)
+            if version == (1, 0):
+                read_header = np.lib.format.read_array_header_1_0
+            elif version == (2, 0):
+                read_header = np.lib.format.read_array_header_2_0
+            else:
+                raise ValueError(f"{info.filename}: npy format {version}")
+            shape, fortran, dtype = read_header(raw)
+            if dtype.hasobject:
+                raise ValueError(f"{info.filename}: object dtype")
+            name = info.filename
+            if name.endswith(".npy"):
+                name = name[: -len(".npy")]
+            members[name] = (dtype, shape, fortran, raw.tell())
+        expected_end = max(
+            (
+                offset + dtype.itemsize * int(np.prod(shape, dtype=np.int64))
+                for dtype, shape, _, offset in members.values()
+            ),
+            default=0,
+        )
+    if path.stat().st_size < expected_end:
+        raise ValueError("archive truncated below member data")
+    return members
+
+
+def open_columns(path: str | Path, mmap: bool | None = None) -> ColumnSet:
+    """Open one ``arrays.npz`` as a :class:`ColumnSet`.
+
+    ``mmap=None`` defers to ``REPRO_MMAP`` (mapped by default).  Any
+    problem establishing the map logs a warning and decodes eagerly
+    instead; eager decode errors propagate to the caller's corrupt-entry
+    handling.
+    """
+    path = Path(path)
+    if mmap is None:
+        mmap = mmap_enabled()
+    if mmap:
+        try:
+            members = _member_layout(path)
+            handle = open(path, "rb")
+            buffer = _mmap.mmap(handle.fileno(), 0, access=_mmap.ACCESS_READ)
+            obs.add("columns.open.mapped")
+            return ColumnSet(path, members, handle, buffer, mapped=True)
+        except Exception as error:  # noqa: BLE001 - map is an optimisation
+            log.warning(
+                "cannot memory-map %s (%s); falling back to eager load",
+                path,
+                error,
+            )
+            obs.add("columns.open.map_failed")
+    with np.load(path, allow_pickle=False) as eager:
+        members = {name: eager[name] for name in eager.files}
+    obs.add("columns.open.eager")
+    return ColumnSet(path, members, None, None, mapped=False)

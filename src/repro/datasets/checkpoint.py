@@ -97,6 +97,7 @@ from repro.topology.relationships import (
 __all__ = [
     "SCHEMA_VERSION",
     "CACHE_DIR_ENV",
+    "WORLD_LOAD_ENV",
     "CheckpointError",
     "CheckpointInfo",
     "CheckpointStore",
@@ -106,6 +107,7 @@ __all__ = [
     "dataset_digests",
     "default_store",
     "world_digest",
+    "world_load_mode",
 ]
 
 log = logging.getLogger(__name__)
@@ -117,6 +119,11 @@ SCHEMA_VERSION = 1
 #: Environment variable naming the on-disk store root (unset = disabled).
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 
+#: Load strategy for warm starts: ``columnar`` (default) maps the entry's
+#: columns and materialises object views lazily; ``eager`` decodes the
+#: full object graph up front (the pre-PR-6 behaviour).
+WORLD_LOAD_ENV = "REPRO_WORLD_LOAD"
+
 MANIFEST_FILE = "MANIFEST.json"
 TOPOLOGY_FILE = "topology.json"
 SCENARIO_FILE = "scenario.json"
@@ -127,6 +134,12 @@ ARRAYS_FILE = "arrays.npz"
 YEARS_DIR = "years"
 
 _JSON_COMPACT = {"sort_keys": False, "separators": (",", ":")}
+
+
+def world_load_mode() -> str:
+    """The warm-start strategy from ``REPRO_WORLD_LOAD`` (default columnar)."""
+    raw = os.environ.get(WORLD_LOAD_ENV, "").strip().lower()
+    return raw if raw in ("columnar", "eager") else "columnar"
 
 
 class CheckpointError(Exception):
@@ -1211,25 +1224,40 @@ class CheckpointStore:
     # -- load ---------------------------------------------------------------
 
     def load(
-        self, config: ScenarioConfig, scale: float, seed: int
+        self,
+        config: ScenarioConfig,
+        scale: float,
+        seed: int,
+        mode: str | None = None,
     ) -> World | None:
         """Reconstruct the world for these inputs, or None on any problem.
 
         Never raises for a bad entry: digest mismatches, schema skew and
         parse errors log a warning, discard the entry, count
         ``checkpoint.corrupt`` and fall back to a miss.
+
+        ``mode`` selects the reconstruction strategy and defaults to
+        ``REPRO_WORLD_LOAD`` (``columnar`` unless overridden): the
+        columnar path memory-maps the verified columns and materialises
+        dataclass views lazily; ``eager`` decodes the whole object graph
+        up front as earlier releases did.  Both yield digest-identical
+        worlds.
         """
         key = checkpoint_key(config, scale, seed)
         entry = self.path_for(key)
         if not (entry / MANIFEST_FILE).is_file():
             obs.add("checkpoint.miss")
             return None
+        if mode is None:
+            mode = world_load_mode()
         try:
-            # Reconstruction allocates the same millions of long-lived,
-            # acyclic objects a cold build does; pause the cyclic GC for
-            # the batch exactly like build_world does (symmetry matters:
-            # mid-load generation-2 collections re-scan every world held
-            # by the process and dwarf the load itself).
+            # Eager reconstruction allocates the same millions of
+            # long-lived, acyclic objects a cold build does; pause the
+            # cyclic GC for the batch exactly like build_world does
+            # (symmetry matters: mid-load generation-2 collections
+            # re-scan every world held by the process and dwarf the load
+            # itself).  The columnar path defers that pause to each
+            # field's materialisation.
             with obs.span("checkpoint.load", key=key[:12]), obs.gc_paused(
                 freeze=True
             ):
@@ -1237,7 +1265,10 @@ class CheckpointStore:
                 problems = self._verify_files(entry, manifest)
                 if problems:
                     raise CheckpointError("; ".join(problems))
-                world = self._reconstruct(entry, manifest, config)
+                if mode == "columnar":
+                    world = self._open_columnar(entry, config)
+                else:
+                    world = self._reconstruct(entry, manifest, config)
         except Exception as error:  # noqa: BLE001 - fall back to cold build
             log.warning(
                 "discarding corrupt checkpoint %s (%s); falling back to a "
@@ -1279,6 +1310,12 @@ class CheckpointStore:
                 elif _sha256_text(path.read_text()) != sidecar.read_text().strip():
                     problems.append(f"{YEARS_DIR}/{path.name}: digest mismatch")
         return problems
+
+    def _open_columnar(self, entry: Path, config: ScenarioConfig) -> World:
+        """The columnar-first load: map columns, materialise views lazily."""
+        from repro.datasets.columnar import LazyWorld, WorldColumns
+
+        return LazyWorld.from_columns(WorldColumns.open(entry), config)
 
     def _reconstruct(
         self, entry: Path, manifest: dict, config: ScenarioConfig

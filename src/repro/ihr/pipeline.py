@@ -15,6 +15,7 @@ hegemony and learned-from-customer computations.
 
 from __future__ import annotations
 
+import logging
 from itertools import chain
 
 import numpy as np
@@ -33,9 +34,22 @@ from repro.irr.database import IRRCollection, IRRDatabase
 from repro.irr.validation import validate_irr_many
 from repro.net.asn import strip_prepending
 from repro.rpki.rov import ROVValidator
+from repro.shard import (
+    check_shard_manifests,
+    pool_map,
+    resolve_shards,
+    shard_manifest,
+    split_evenly,
+)
 from repro.topology.model import ASTopology
 
 __all__ = ["build_ihr_dataset"]
+
+log = logging.getLogger(__name__)
+
+#: Below this many visible route groups the per-pool topology pickling
+#: cannot pay for itself; transit scoring stays in-process.
+MIN_SHARD_GROUPS = 64
 
 
 def build_ihr_dataset(
@@ -44,23 +58,32 @@ def build_ihr_dataset(
     irr: IRRCollection | IRRDatabase,
     topology: ASTopology,
     trim: float = DEFAULT_TRIM,
+    shards: int | None = None,
+    jobs: int | None = None,
 ) -> IHRDataset:
     """Build both IHR tables from one collector snapshot.
 
     Vantage-point paths are identical for every prefix in a
     :class:`~repro.bgp.collector.RouteGroup`, so hegemony and the
     learned-from-customer flags are computed once per group.
+
+    ``shards`` (default ``REPRO_SHARDS``, else 1) fans both the bulk
+    route validation (by prefix range) and the transit scoring (by
+    route-group chunk) across a process pool; per-route verdicts and
+    per-group hegemony are independent, so the sharded dataset is
+    identical.
     """
     prefix_origins: list[PrefixOriginRecord] = []
     visible = [group for group in snapshot.groups if group.paths]
+    shards = resolve_shards(shards)
     with obs.span("ihr.validate"):
         routes = [
             (prefix, group.origin)
             for group in visible
             for prefix in group.prefixes
         ]
-        rpki_by_route = rov.validate_many(routes)
-        irr_by_route = validate_irr_many(irr, routes)
+        rpki_by_route = rov.validate_many(routes, shards=shards, jobs=jobs)
+        irr_by_route = validate_irr_many(irr, routes, shards=shards, jobs=jobs)
     with obs.span("ihr.hegemony"):
         group_statuses: list[tuple] = []
         for group in visible:
@@ -85,14 +108,20 @@ def build_ihr_dataset(
                         visibility=visibility,
                     )
                 )
-        if kernels.use_numpy():
-            transit_groups = _transit_groups_numpy(
-                visible, group_statuses, topology, trim
+        transit_groups = None
+        if shards > 1 and len(visible) >= MIN_SHARD_GROUPS:
+            transit_groups = _sharded_transit_groups(
+                visible, group_statuses, topology, trim, shards, jobs
             )
-        else:
-            transit_groups = _transit_groups_python(
-                visible, group_statuses, topology, trim
-            )
+        if transit_groups is None:
+            if kernels.use_numpy():
+                transit_groups = _transit_groups_numpy(
+                    visible, group_statuses, topology, trim
+                )
+            else:
+                transit_groups = _transit_groups_python(
+                    visible, group_statuses, topology, trim
+                )
     obs.add("ihr.prefix_origins", len(prefix_origins))
     obs.add("ihr.transit_groups", len(transit_groups))
     return IHRDataset(prefix_origins=prefix_origins, transit_groups=transit_groups)
@@ -134,17 +163,14 @@ def _transit_groups_python(
     return transit_groups
 
 
-def _transit_groups_numpy(
-    visible: list[RouteGroup],
-    group_statuses: list[tuple],
-    topology: ASTopology,
-    trim: float,
-) -> list[TransitGroup]:
-    """Columnar transit scoring: one flat reduction over all groups.
+def _hegemony_columns(
+    visible: list[RouteGroup], topology: ASTopology, trim: float
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """The flat hegemony reduction as columns (group id, ASN, score, flag).
 
-    Produces the same TransitGroups in the same order with the same
-    per-group transit insertion order as the reference loop (see
-    :func:`repro.kernels.groupby.hegemony_transits`).
+    Rows come out grouped by ascending group index; each group's rows
+    depend only on that group's paths, which is what makes group-chunk
+    sharding an identity transform.
     """
     all_paths: list[tuple[int, ...]] = []
     counts: list[int] = []
@@ -161,16 +187,8 @@ def _transit_groups_numpy(
     group_of_path = np.repeat(
         np.arange(len(visible), dtype=np.int64), paths_per_group
     )
-    csr = topology.csr()
-    provider_rows = np.repeat(
-        np.arange(len(csr.asns), dtype=np.int64),
-        np.diff(csr.customer_indptr),
-    )
-    edges = (
-        csr.asns[provider_rows].astype(np.uint64) << np.uint64(32)
-    ) | csr.asns[csr.customer_indices].astype(np.uint64)
-    edges.sort()
-    group_ids, asns, scores, flags = hegemony_transits(
+    edges = topology.csr().customer_edge_keys()
+    return hegemony_transits(
         flat,
         offsets,
         group_of_path,
@@ -178,6 +196,15 @@ def _transit_groups_numpy(
         trim,
         edges,
     )
+
+
+def _groups_from_columns(
+    visible: list[RouteGroup],
+    group_statuses: list[tuple],
+    columns: tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray],
+) -> list[TransitGroup]:
+    """Materialise TransitGroups from hegemony columns."""
+    group_ids, asns, scores, flags = columns
     transit_groups: list[TransitGroup] = []
     if not len(group_ids):
         return transit_groups
@@ -210,6 +237,25 @@ def _transit_groups_numpy(
     return transit_groups
 
 
+def _transit_groups_numpy(
+    visible: list[RouteGroup],
+    group_statuses: list[tuple],
+    topology: ASTopology,
+    trim: float,
+) -> list[TransitGroup]:
+    """Columnar transit scoring: one flat reduction over all groups.
+
+    Produces the same TransitGroups in the same order with the same
+    per-group transit insertion order as the reference loop (see
+    :func:`repro.kernels.groupby.hegemony_transits`).
+    """
+    return _groups_from_columns(
+        visible,
+        group_statuses,
+        _hegemony_columns(visible, topology, trim),
+    )
+
+
 def _customer_learning(
     stripped_paths: list[tuple[int, ...]],
     customers_of: dict[int, frozenset[int]],
@@ -231,3 +277,104 @@ def _customer_learning(
             toward_origin = stripped[position + 1]
             learned[transit] = toward_origin in customers_of[transit]
     return learned
+
+
+# Worker-process state for group-chunk sharded transit scoring, installed
+# once per worker by the pool initializer (the topology pickles once).
+_shard_topology: ASTopology | None = None
+_shard_trim: float = DEFAULT_TRIM
+
+
+def _init_ihr_shard_worker(topology: ASTopology, trim: float) -> None:
+    global _shard_topology, _shard_trim
+    _shard_topology = topology
+    _shard_trim = trim
+
+
+def _transit_shard(task: tuple) -> tuple[dict, tuple]:
+    """Score one route-group chunk; emits hegemony column shards.
+
+    Group ids in the emitted columns are chunk-local — the driver adds
+    the chunk's start offset before concatenating.  Under the python
+    kernels the shard carries finished TransitGroups instead (the
+    reference loop has no columnar intermediate).
+    """
+    index, total, chunk, chunk_statuses = task
+    assert _shard_topology is not None
+    if kernels.use_numpy():
+        columns = _hegemony_columns(chunk, _shard_topology, _shard_trim)
+        manifest = shard_manifest("ihr.transit", index, total, len(columns[0]))
+        return manifest, ("columns", columns)
+    groups = _transit_groups_python(
+        chunk, list(chunk_statuses), _shard_topology, _shard_trim
+    )
+    manifest = shard_manifest("ihr.transit", index, total, len(groups))
+    return manifest, ("groups", groups)
+
+
+def _sharded_transit_groups(
+    visible: list[RouteGroup],
+    group_statuses: list[tuple],
+    topology: ASTopology,
+    trim: float,
+    shards: int,
+    jobs: int | None,
+) -> list[TransitGroup] | None:
+    """Group-chunk sharded transit scoring; None falls back in-process.
+
+    Chunks are contiguous slices of ``visible`` and every group's rows
+    depend only on its own paths, so concatenating the column shards in
+    ascending shard order (with group ids shifted by each chunk's start)
+    reproduces the unsharded reduction exactly.
+    """
+    chunks = split_evenly(visible, shards)
+    total = len(chunks)
+    starts: list[int] = []
+    status_chunks: list[list[tuple]] = []
+    start = 0
+    for chunk in chunks:
+        starts.append(start)
+        status_chunks.append(group_statuses[start : start + len(chunk)])
+        start += len(chunk)
+    tasks = [
+        (index, total, list(chunk), status_chunks[index])
+        for index, chunk in enumerate(chunks)
+    ]
+    obs.add("ihr.transit_shards", total)
+    results = pool_map(
+        _transit_shard,
+        tasks,
+        workers=obs.resolve_jobs(jobs),
+        initializer=_init_ihr_shard_worker,
+        initargs=(topology, trim),
+    )
+    if results is None:
+        return None
+    problems = check_shard_manifests(
+        [manifest for manifest, _ in results], "ihr.transit", total
+    )
+    kinds = {payload[0] for _, payload in results}
+    if not problems and len(kinds) != 1:
+        problems.append(f"mixed shard payload kinds {sorted(kinds)}")
+    if problems:
+        log.warning(
+            "discarding sharded transit scoring (%s); recomputing unsharded",
+            "; ".join(problems),
+        )
+        obs.add("shard.discarded")
+        return None
+    if kinds == {"columns"}:
+        parts = [payload[1] for _, payload in results]
+        merged = (
+            np.concatenate(
+                [part[0] + starts[index] for index, part in enumerate(parts)]
+            ),
+            np.concatenate([part[1] for part in parts]),
+            np.concatenate([part[2] for part in parts]),
+            np.concatenate([part[3] for part in parts]),
+        )
+        return _groups_from_columns(visible, group_statuses, merged)
+    transit_groups: list[TransitGroup] = []
+    for _, payload in results:
+        transit_groups.extend(payload[1])
+    return transit_groups

@@ -22,16 +22,32 @@ adding or removing route objects transparently invalidates it.
 
 from __future__ import annotations
 
+import logging
 from enum import Enum
 from typing import Iterable
+
+import numpy as np
 
 from repro import kernels, obs
 from repro.kernels.intervals import RouteIntervalIndex
 from repro.irr.database import IRRCollection, IRRDatabase
 from repro.irr.objects import RouteObject
 from repro.net.prefix import Prefix
+from repro.shard import (
+    check_shard_manifests,
+    pool_map,
+    resolve_shards,
+    shard_manifest,
+    split_evenly,
+)
 
 __all__ = ["IRRStatus", "validate_irr", "validate_irr_many"]
+
+log = logging.getLogger(__name__)
+
+#: Below this many pending routes the per-pool registry pickling cannot
+#: pay for itself; bulk validation stays in-process regardless of shards.
+MIN_SHARD_ROUTES = 2048
 
 
 class IRRStatus(str, Enum):
@@ -71,6 +87,9 @@ _STATUS_BY_CODE = (
     IRRStatus.INVALID_LENGTH,
     IRRStatus.INVALID_ORIGIN,
 )
+
+#: The inverse mapping, for packing verdicts into column shards.
+_CODE_BY_STATUS = {status: code for code, status in enumerate(_STATUS_BY_CODE)}
 
 
 def _index_of(
@@ -147,15 +166,83 @@ def validate_irr(
     return status
 
 
+def _classify_pending(
+    registry: IRRCollection | IRRDatabase,
+    pending: list[tuple[Prefix, int]],
+) -> list[IRRStatus]:
+    """Bulk-classify not-yet-memoised routes, aligned with ``pending``."""
+    index = _index_of(registry) if kernels.use_numpy() else None
+    if index is not None:
+        codes = index.classify_routes(pending)
+        return [_STATUS_BY_CODE[code] for code in codes.tolist()]
+    covering = registry.routes_covering_many(prefix for prefix, _ in pending)
+    return [
+        _classify(covering[prefix], prefix, origin)
+        for prefix, origin in pending
+    ]
+
+
+def _sharded_statuses(
+    registry: IRRCollection | IRRDatabase,
+    pending: list[tuple[Prefix, int]],
+    shards: int,
+    jobs: int,
+) -> list[IRRStatus] | None:
+    """Classify prefix-range shards on a process pool; None = fall back.
+
+    Same contract as the ROV variant: ``pending`` is sorted, chunks are
+    contiguous prefix ranges, workers emit verdict-code columns, and the
+    driver concatenates in shard order.
+    """
+    chunks = split_evenly(pending, shards)
+    total = len(chunks)
+    tasks = [(index, total, list(chunk)) for index, chunk in enumerate(chunks)]
+    obs.add("irr.validate_shards", total)
+    results = pool_map(
+        _classify_route_shard,
+        tasks,
+        workers=max(jobs, 1),
+        initializer=_init_irr_shard_worker,
+        initargs=(registry,),
+    )
+    if results is None:
+        return None
+    problems = check_shard_manifests(
+        [manifest for manifest, _ in results], "irr.validate", total
+    )
+    if not problems and sum(len(codes) for _, codes in results) != len(
+        pending
+    ):
+        problems.append("row accounting mismatch")
+    if problems:
+        log.warning(
+            "discarding sharded IRR validation (%s); recomputing unsharded",
+            "; ".join(problems),
+        )
+        obs.add("shard.discarded")
+        return None
+    return [
+        _STATUS_BY_CODE[code]
+        for _, codes in results
+        for code in codes.tolist()
+    ]
+
+
 def validate_irr_many(
     registry: IRRCollection | IRRDatabase,
     routes: Iterable[tuple[Prefix, int]],
+    shards: int | None = None,
+    jobs: int | None = None,
 ) -> dict[tuple[Prefix, int], IRRStatus]:
     """Classify a batch of routes with one bulk covering walk.
 
     Equivalent to calling :func:`validate_irr` per route; covering
     objects for all not-yet-memoised prefixes are collected via the
     registry's ``routes_covering_many`` bulk lookup first.
+
+    ``shards`` (default ``REPRO_SHARDS``, else 1) fans the bulk
+    classification across a process pool by prefix range; verdicts are
+    per-route pure, so the sharded result is identical.
     """
     routes = set(routes)
     memo = _memo_of(registry)
@@ -173,18 +260,17 @@ def validate_irr_many(
         else:
             results[key] = status
     if pending:
-        index = _index_of(registry) if kernels.use_numpy() else None
-        if index is not None:
-            codes = index.classify_routes(pending)
-            statuses = [_STATUS_BY_CODE[code] for code in codes.tolist()]
-        else:
-            covering = registry.routes_covering_many(
-                prefix for prefix, _ in pending
+        statuses = None
+        shards = resolve_shards(shards)
+        if shards > 1 and len(pending) >= MIN_SHARD_ROUTES:
+            # Sort so chunks are genuine prefix ranges (and shard
+            # boundaries never depend on set-iteration order).
+            pending.sort()
+            statuses = _sharded_statuses(
+                registry, pending, shards, obs.resolve_jobs(jobs)
             )
-            statuses = [
-                _classify(covering[prefix], prefix, origin)
-                for prefix, origin in pending
-            ]
+        if statuses is None:
+            statuses = _classify_pending(registry, pending)
         tallies: dict[IRRStatus, int] = {}
         for key, status in zip(pending, statuses):
             memo[key] = status
@@ -195,3 +281,26 @@ def validate_irr_many(
     obs.add("irr.memo_hits", len(routes) - len(pending))
     obs.add("irr.memo_misses", len(pending))
     return results
+
+
+# Worker-process state for prefix-range sharded validation, installed
+# once per worker by the pool initializer (the registry pickles once).
+_shard_registry: IRRCollection | IRRDatabase | None = None
+
+
+def _init_irr_shard_worker(registry: IRRCollection | IRRDatabase) -> None:
+    global _shard_registry
+    _shard_registry = registry
+
+
+def _classify_route_shard(task: tuple) -> tuple[dict, np.ndarray]:
+    """Classify one prefix-range chunk; emits a verdict-code column."""
+    index, total, chunk = task
+    assert _shard_registry is not None
+    statuses = _classify_pending(_shard_registry, chunk)
+    codes = np.fromiter(
+        (_CODE_BY_STATUS[status] for status in statuses),
+        dtype=np.int8,
+        count=len(statuses),
+    )
+    return shard_manifest("irr.validate", index, total, len(chunk)), codes

@@ -16,16 +16,32 @@ O(prefix length) regardless of table size.
 
 from __future__ import annotations
 
+import logging
 from enum import Enum
 from typing import Iterable
+
+import numpy as np
 
 from repro import kernels, obs
 from repro.kernels.intervals import RouteIntervalIndex
 from repro.net.prefix import Prefix
 from repro.net.radix import RadixTree
 from repro.rpki.roa import VRP
+from repro.shard import (
+    check_shard_manifests,
+    pool_map,
+    resolve_shards,
+    shard_manifest,
+    split_evenly,
+)
 
 __all__ = ["RPKIStatus", "ROVValidator"]
+
+log = logging.getLogger(__name__)
+
+#: Below this many pending routes the per-pool VRP pickling cannot pay
+#: for itself; bulk validation stays in-process regardless of shards.
+MIN_SHARD_ROUTES = 2048
 
 
 class RPKIStatus(str, Enum):
@@ -62,6 +78,9 @@ _STATUS_BY_CODE = (
     RPKIStatus.INVALID_LENGTH,
     RPKIStatus.INVALID_ASN,
 )
+
+#: The inverse mapping, for packing verdicts into column shards.
+_CODE_BY_STATUS = {status: code for code, status in enumerate(_STATUS_BY_CODE)}
 
 
 class ROVValidator:
@@ -132,14 +151,78 @@ class ROVValidator:
             self._memo[key] = status
         return status
 
+    def _classify_pending(
+        self, pending: list[tuple[Prefix, int]]
+    ) -> list[RPKIStatus]:
+        """Bulk-classify not-yet-memoised routes, aligned with ``pending``."""
+        if kernels.use_numpy():
+            codes = self.interval_index().classify_routes(pending)
+            return [_STATUS_BY_CODE[code] for code in codes.tolist()]
+        covering = self._trie().covering_many(prefix for prefix, _ in pending)
+        return [
+            _classify(covering[prefix], prefix, origin)
+            for prefix, origin in pending
+        ]
+
+    def _sharded_statuses(
+        self, pending: list[tuple[Prefix, int]], shards: int, jobs: int
+    ) -> list[RPKIStatus] | None:
+        """Classify prefix-range shards on a process pool; None = fall back.
+
+        ``pending`` must already be sorted, so each contiguous chunk is
+        one prefix range.  Workers emit verdict-code column shards which
+        concatenate in shard order; verdicts are per-route pure, so the
+        result is identical to the in-process bulk walk.
+        """
+        chunks = split_evenly(pending, shards)
+        total = len(chunks)
+        tasks = [(index, total, list(chunk)) for index, chunk in enumerate(chunks)]
+        obs.add("rov.validate_shards", total)
+        results = pool_map(
+            _classify_route_shard,
+            tasks,
+            workers=max(jobs, 1),
+            initializer=_init_rov_shard_worker,
+            initargs=(self._vrps,),
+        )
+        if results is None:
+            return None
+        problems = check_shard_manifests(
+            [manifest for manifest, _ in results], "rov.validate", total
+        )
+        if not problems and sum(
+            len(codes) for _, codes in results
+        ) != len(pending):
+            problems.append("row accounting mismatch")
+        if problems:
+            log.warning(
+                "discarding sharded ROV validation (%s); recomputing "
+                "unsharded",
+                "; ".join(problems),
+            )
+            obs.add("shard.discarded")
+            return None
+        return [
+            _STATUS_BY_CODE[code]
+            for _, codes in results
+            for code in codes.tolist()
+        ]
+
     def validate_many(
-        self, routes: Iterable[tuple[Prefix, int]]
+        self,
+        routes: Iterable[tuple[Prefix, int]],
+        shards: int | None = None,
+        jobs: int | None = None,
     ) -> dict[tuple[Prefix, int], RPKIStatus]:
         """Classify a batch of routes with one bulk trie walk.
 
         Equivalent to calling :meth:`validate` per route, but covering
         VRPs for all not-yet-memoised prefixes are gathered via
         :meth:`RadixTree.covering_many` first.
+
+        ``shards`` (default ``REPRO_SHARDS``, else 1) fans the bulk
+        classification across a process pool by prefix range; verdicts
+        are per-route pure, so the sharded result is identical.
         """
         routes = set(routes)
         results: dict[tuple[Prefix, int], RPKIStatus] = {}
@@ -151,17 +234,17 @@ class ROVValidator:
             else:
                 results[key] = status
         if pending:
-            if kernels.use_numpy():
-                codes = self.interval_index().classify_routes(pending)
-                statuses = [_STATUS_BY_CODE[code] for code in codes.tolist()]
-            else:
-                covering = self._trie().covering_many(
-                    prefix for prefix, _ in pending
+            statuses = None
+            shards = resolve_shards(shards)
+            if shards > 1 and len(pending) >= MIN_SHARD_ROUTES:
+                # Sort so chunks are genuine prefix ranges (and shard
+                # boundaries never depend on set-iteration order).
+                pending.sort()
+                statuses = self._sharded_statuses(
+                    pending, shards, obs.resolve_jobs(jobs)
                 )
-                statuses = [
-                    _classify(covering[prefix], prefix, origin)
-                    for prefix, origin in pending
-                ]
+            if statuses is None:
+                statuses = self._classify_pending(pending)
             tallies: dict[RPKIStatus, int] = {}
             for key, status in zip(pending, statuses):
                 self._memo[key] = status
@@ -197,3 +280,26 @@ class ROVValidator:
             if covered:
                 result.append(prefix)
         return result
+
+
+# Worker-process state for prefix-range sharded validation, installed
+# once per worker by the pool initializer (the VRP list pickles once).
+_shard_validator: ROVValidator | None = None
+
+
+def _init_rov_shard_worker(vrps: list[VRP]) -> None:
+    global _shard_validator
+    _shard_validator = ROVValidator(vrps)
+
+
+def _classify_route_shard(task: tuple) -> tuple[dict, np.ndarray]:
+    """Classify one prefix-range chunk; emits a verdict-code column."""
+    index, total, chunk = task
+    assert _shard_validator is not None
+    statuses = _shard_validator._classify_pending(chunk)
+    codes = np.fromiter(
+        (_CODE_BY_STATUS[status] for status in statuses),
+        dtype=np.int8,
+        count=len(statuses),
+    )
+    return shard_manifest("rov.validate", index, total, len(chunk)), codes

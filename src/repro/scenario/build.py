@@ -61,6 +61,7 @@ def build_world(
     topology_config: TopologyConfig | None = None,
     recruitment_config: RecruitmentConfig | None = None,
     jobs: int | None = None,
+    shards: int | None = None,
 ) -> World:
     """Build a complete world.
 
@@ -71,10 +72,23 @@ def build_world(
     ``jobs`` sets the worker count for the RIB-collection fan-out
     (``None`` defers to the ``REPRO_JOBS`` environment variable; the
     result is identical at any worker count).
+
+    ``shards`` (``None`` defers to ``REPRO_SHARDS``, else 1) shards the
+    three dominant stages across worker processes — RIB collection by
+    vantage-point chunk, ROV/IRR bulk validation by prefix range,
+    transit scoring by route-group chunk.  Workers emit column shards
+    merged in deterministic shard order, so the built world is
+    byte-identical at any shard count (DESIGN §13).
     """
     with obs.gc_paused(freeze=True):
         return _build_world(
-            scale, seed, config, topology_config, recruitment_config, jobs
+            scale,
+            seed,
+            config,
+            topology_config,
+            recruitment_config,
+            jobs,
+            shards,
         )
 
 
@@ -85,6 +99,7 @@ def _build_world(
     topology_config: TopologyConfig | None,
     recruitment_config: RecruitmentConfig | None,
     jobs: int | None,
+    shards: int | None = None,
 ) -> World:
     config = config or ScenarioConfig()
     topology_config = (topology_config or TopologyConfig()).scaled(scale)
@@ -141,8 +156,8 @@ def _build_world(
         ]
         # Bulk classification also warms the validators' per-route memos,
         # which the IHR pipeline re-queries for the visible routes below.
-        rpki_by_route = rov.validate_many(routes)
-        irr_by_route = validate_irr_many(ctx.irr, routes)
+        rpki_by_route = rov.validate_many(routes, shards=shards, jobs=jobs)
+        irr_by_route = validate_irr_many(ctx.irr, routes, shards=shards, jobs=jobs)
         announcements: list[tuple[Announcement, RouteClass]] = [
             (
                 Announcement(prefix, asn),
@@ -172,10 +187,14 @@ def _build_world(
         seed=seed + 2,
     )
     with obs.span("build.collect_rib"):
-        rib = collect_rib(engine, announcements, vantage_points, jobs=jobs)
+        rib = collect_rib(
+            engine, announcements, vantage_points, jobs=jobs, shards=shards
+        )
     prefix2as = Prefix2AS.from_rib(rib)
     with obs.span("build.ihr"):
-        ihr = build_ihr_dataset(rib, rov, ctx.irr, topology)
+        ihr = build_ihr_dataset(
+            rib, rov, ctx.irr, topology, shards=shards, jobs=jobs
+        )
 
     return World(
         config=config,

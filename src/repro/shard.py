@@ -1,0 +1,160 @@
+"""Deterministic sharding for the dominant world-build stages.
+
+The scale-10 build cannot sit resident as one object graph, so the
+three expensive stages stream through worker processes instead:
+RIB collection shards by **vantage-point chunk**, ROV/IRR bulk
+validation by **prefix range**, and IHR transit scoring by
+**origin-class (route-group) chunk**.  Workers emit *column shards* —
+flat integer arrays plus a tiny manifest — and the driver concatenates
+them in shard order.
+
+Determinism is structural, not incidental (DESIGN §13):
+
+* shards are **contiguous slices** of an already-deterministically
+  ordered sequence (``split_evenly`` never reorders);
+* each worker's output depends only on its own slice (propagation,
+  RFC 6811/IRR verdicts and per-group hegemony are all per-item pure);
+* the driver concatenates in ascending shard index, which therefore
+  reproduces exactly the serial iteration order.
+
+So shard counts 1 and N are byte-identical by construction, and the
+golden-digest suite pins it.
+
+Safety mirrors the checkpoint contract: a shard manifest that fails
+validation (schema skew, wrong shard arity, wrong row accounting) is
+*not* patched up — the driver logs a warning, discards the sharded
+attempt entirely and recomputes serially.  ``REPRO_SHARDS`` sets the
+default shard count (1 = sharding off).
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Sequence, TypeVar
+
+from repro import obs
+
+__all__ = [
+    "SHARDS_ENV",
+    "SHARD_SCHEMA_VERSION",
+    "check_shard_manifests",
+    "pool_map",
+    "resolve_shards",
+    "shard_manifest",
+    "split_evenly",
+]
+
+log = logging.getLogger(__name__)
+
+SHARDS_ENV = "REPRO_SHARDS"
+
+#: Bumped whenever the inter-process shard column layout changes; a
+#: worker/driver version skew discards the shard and falls back serial.
+SHARD_SCHEMA_VERSION = 1
+
+T = TypeVar("T")
+
+
+def resolve_shards(shards: int | None = None) -> int:
+    """Effective shard count: explicit argument, else ``REPRO_SHARDS``, else 1."""
+    if shards is None:
+        raw = os.environ.get(SHARDS_ENV, "").strip()
+        try:
+            shards = int(raw) if raw else 1
+        except ValueError:
+            log.warning("ignoring non-integer %s=%r", SHARDS_ENV, raw)
+            shards = 1
+    return max(1, shards)
+
+
+def split_evenly(items: Sequence[T], shards: int) -> list[Sequence[T]]:
+    """Split into at most ``shards`` contiguous, order-preserving chunks.
+
+    Chunk sizes differ by at most one and empty chunks are dropped, so
+    the concatenation of the result *is* ``items`` — the property every
+    shard-identity argument in this package rests on.
+    """
+    shards = min(max(1, shards), len(items)) if items else 1
+    base, extra = divmod(len(items), shards)
+    chunks: list[Sequence[T]] = []
+    start = 0
+    for index in range(shards):
+        size = base + (1 if index < extra else 0)
+        if size:
+            chunks.append(items[start : start + size])
+        start += size
+    return chunks
+
+
+def shard_manifest(stage: str, index: int, total: int, rows: int) -> dict:
+    """The header a worker attaches to one emitted column shard."""
+    return {
+        "schema": SHARD_SCHEMA_VERSION,
+        "stage": stage,
+        "shard": index,
+        "of": total,
+        "rows": rows,
+    }
+
+
+def check_shard_manifests(
+    manifests: Sequence[dict], stage: str, total: int
+) -> list[str]:
+    """Validate a full set of shard manifests; returns problems (empty = ok).
+
+    Any problem means the driver must discard the sharded results and
+    fall back to the serial path — never stitch together a partial or
+    version-skewed set.
+    """
+    problems: list[str] = []
+    if len(manifests) != total:
+        problems.append(f"expected {total} shards, got {len(manifests)}")
+    for position, manifest in enumerate(manifests):
+        if not isinstance(manifest, dict):
+            problems.append(f"shard {position}: manifest is not a mapping")
+            continue
+        schema = manifest.get("schema")
+        if schema != SHARD_SCHEMA_VERSION:
+            problems.append(
+                f"shard {position}: schema skew ({schema!r} != "
+                f"{SHARD_SCHEMA_VERSION})"
+            )
+        if manifest.get("stage") != stage:
+            problems.append(
+                f"shard {position}: stage {manifest.get('stage')!r} != {stage!r}"
+            )
+        if manifest.get("shard") != position or manifest.get("of") != total:
+            problems.append(
+                f"shard {position}: out of order "
+                f"({manifest.get('shard')!r} of {manifest.get('of')!r})"
+            )
+    return problems
+
+
+def pool_map(
+    fn: Callable,
+    tasks: Sequence,
+    workers: int,
+    initializer: Callable | None = None,
+    initargs: tuple = (),
+) -> list | None:
+    """Map ``fn`` over ``tasks`` on a process pool, in task order.
+
+    Returns None when no pool can be established (e.g. a sandboxed
+    ``/dev/shm``); callers fall back to their serial path.  Worker
+    exceptions propagate — a *computation* failure is a bug, only an
+    *infrastructure* failure downgrades.
+    """
+    workers = max(1, min(workers, len(tasks)))
+    try:
+        with ProcessPoolExecutor(
+            max_workers=workers, initializer=initializer, initargs=initargs
+        ) as pool:
+            results = list(pool.map(fn, tasks))
+    except OSError:
+        obs.add("shard.pool_unavailable")
+        return None
+    obs.add("shard.pool_maps")
+    return results

@@ -51,6 +51,7 @@ class TopologyCSR:
         "customer_indices",
         "peer_indptr",
         "peer_indices",
+        "_customer_edge_keys",
     )
 
     def __init__(
@@ -77,6 +78,26 @@ class TopologyCSR:
             setattr(
                 self, f"{name}_indices", np.array(flat, dtype=np.int32)
             )
+        self._customer_edge_keys: np.ndarray | None = None
+
+    def customer_edge_keys(self) -> np.ndarray:
+        """Sorted packed ``provider<<32 | customer`` ASN keys, one per
+        provider→customer edge — the membership table the hegemony
+        kernel probes for learned-from-customer flags.  Built once per
+        CSR and shared by every consumer (including IHR shard workers,
+        which each hold their own CSR copy)."""
+        keys = self._customer_edge_keys
+        if keys is None:
+            provider_rows = np.repeat(
+                np.arange(len(self.asns), dtype=np.int64),
+                np.diff(self.customer_indptr),
+            )
+            keys = (
+                self.asns[provider_rows].astype(np.uint64) << np.uint64(32)
+            ) | self.asns[self.customer_indices].astype(np.uint64)
+            keys.sort()
+            self._customer_edge_keys = keys
+        return keys
 
     def neighbors(self, kind: str, row: int) -> np.ndarray:
         """Neighbour rows of ``row`` for ``kind`` in {provider, customer,

@@ -382,13 +382,22 @@ class TestScheduler:
         spec.experiment_sets = (("fig4",), ("f70",), ("fig2",))
         jobs = spec.expand()
         assert len(jobs) == 3
+        # Crash the LAST job: a pool break fails every in-flight attempt,
+        # and the scheduler keeps up to workers*2 submitted — crashing an
+        # earlier job would let whichever innocent neighbour happens to
+        # share the window collect collateral "worker died" failures,
+        # racing the rebuild timing.  With one worker executing FIFO, by
+        # the time the final job crashes both earlier results are already
+        # flushed to the result pipe (the executor drains it before
+        # declaring the pool broken), so no innocent attempt is ever in
+        # flight at either crash — the outcome is deterministic.
         monkeypatch.setenv(
-            "REPRO_SWEEP_FAIL_JOBS", f"{jobs[1].job_id}=crash"
+            "REPRO_SWEEP_FAIL_JOBS", f"{jobs[2].job_id}=crash"
         )
         before = obs.counters().get("sweep.pool.rebuilt", 0)
         outcome = run_sweep(spec, tmp_path / "ledgers", workers=1)
-        assert set(outcome.failures) == {jobs[1].job_id}
-        assert "died" in outcome.failures[jobs[1].job_id]
+        assert set(outcome.failures) == {jobs[2].job_id}
+        assert "died" in outcome.failures[jobs[2].job_id]
         assert len(outcome.results) == 2
         assert obs.counters().get("sweep.pool.rebuilt", 0) > before
 
