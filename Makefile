@@ -10,7 +10,7 @@ SCALE ?= 1.0
 LABEL ?= local
 SMOKE_BUDGET ?= 120
 
-.PHONY: test lint bench bench-pytest bench-smoke bench-compare profile smoke-profile trace-smoke sweep-smoke scale-smoke
+.PHONY: test lint bench bench-pytest bench-smoke bench-compare profile smoke-profile trace-smoke sweep-smoke scale-smoke serve-smoke
 
 ## Tier-1 test suite (unit + integration + equivalence).
 test:
@@ -68,6 +68,11 @@ profile:
 smoke-profile:
 	$(PYTHON) benchmarks/run.py --smoke --budget $(SMOKE_BUDGET) \
 		--label smoke --output-dir /tmp
+
+## Measurement-service smoke: start `repro serve` as a subprocess, then
+## liveness -> cold build -> warm hit -> 304 -> metrics -> SIGINT.
+serve-smoke:
+	$(PYTHON) scripts/check_serve.py
 
 ## Sweep orchestrator smoke: run -> resume -> report on the example
 ## grid, against a throwaway cache/ledger directory.

@@ -71,6 +71,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro import kernels, obs  # noqa: E402
+from repro.bench import compare_payloads  # noqa: E402,F401
 from repro.experiments.registry import REGISTRY  # noqa: E402
 from repro.scenario.build import build_world  # noqa: E402
 from repro.scenario.timeline import Timeline  # noqa: E402
@@ -127,6 +128,114 @@ def run_warm_start(
         "speedup": cold / warm,
         "digest_equal": digest_equal,
     }
+
+
+def percentiles(samples: list[float]) -> dict:
+    """n plus p50/p95/p99 of ``samples`` (seconds) in milliseconds."""
+    ordered = sorted(samples)
+
+    def pct(p: float) -> float:
+        if not ordered:
+            return 0.0
+        index = round(p / 100 * (len(ordered) - 1))
+        return ordered[min(len(ordered) - 1, max(0, index))]
+
+    return {
+        "n": len(ordered),
+        "p50_ms": round(pct(50) * 1000, 3),
+        "p95_ms": round(pct(95) * 1000, 3),
+        "p99_ms": round(pct(99) * 1000, 3),
+    }
+
+
+def run_serve_bench(
+    scale: float, requests: int, workers: int = 2, fanout: int = 16
+) -> dict:
+    """Latency and throughput of the measurement service.
+
+    Starts a real :class:`repro.serve.ReproService` (ephemeral port,
+    throwaway store, the production spawn-based build pool) and measures
+    three request populations: *cold* (distinct seeds, each triggering
+    one pool build), *hot serial* (one cached key, fresh connection per
+    request — per-request latency), and *hot concurrent* (``fanout``
+    in-flight requests at a time — cache-hit QPS).  A final
+    If-None-Match request pins the 304 path.
+    """
+    import asyncio
+    import tempfile
+
+    from repro.datasets.checkpoint import CheckpointStore
+    from repro.serve import ReproService, http_get
+
+    async def drive() -> dict:
+        with tempfile.TemporaryDirectory() as tmp:
+            service = ReproService(store=CheckpointStore(tmp), workers=workers)
+            await service.start(port=0)
+            try:
+                host, port = "127.0.0.1", service.port
+                cold: list[float] = []
+                for seed in range(8):
+                    target = f"/experiments/fig2?scale={scale:g}&seed={seed}"
+                    start = time.perf_counter()
+                    status, _headers, _body = await http_get(
+                        host, port, target, timeout=600
+                    )
+                    cold.append(time.perf_counter() - start)
+                    assert status == 200, f"cold request failed: {status}"
+                hot_target = f"/experiments/fig2?scale={scale:g}&seed=0"
+                status, headers, _body = await http_get(host, port, hot_target)
+                etag = headers["etag"]
+                hot: list[float] = []
+                for _ in range(requests):
+                    start = time.perf_counter()
+                    status, _headers, _body = await http_get(
+                        host, port, hot_target
+                    )
+                    hot.append(time.perf_counter() - start)
+                    assert status == 200, f"hot request failed: {status}"
+                serial_qps = len(hot) / sum(hot) if hot else 0.0
+                start = time.perf_counter()
+                done = 0
+                while done < requests:
+                    batch = min(fanout, requests - done)
+                    results = await asyncio.gather(
+                        *[
+                            http_get(host, port, hot_target)
+                            for _ in range(batch)
+                        ]
+                    )
+                    assert all(r[0] == 200 for r in results)
+                    done += batch
+                concurrent_qps = done / (time.perf_counter() - start)
+                status_304, _headers, body_304 = await http_get(
+                    host, port, hot_target, headers={"if-none-match": etag}
+                )
+                return {
+                    "scale": scale,
+                    "workers": workers,
+                    "cold": percentiles(cold),
+                    "hot": {
+                        **percentiles(hot),
+                        "qps_serial": round(serial_qps, 1),
+                        "qps_concurrent": round(concurrent_qps, 1),
+                        "fanout": fanout,
+                    },
+                    "not_modified_304": status_304 == 304 and not body_304,
+                }
+            finally:
+                await service.stop()
+
+    result = asyncio.run(drive())
+    print(
+        f"serve: cold p50={result['cold']['p50_ms']:.0f}ms "
+        f"hot p50={result['hot']['p50_ms']:.1f}ms "
+        f"p99={result['hot']['p99_ms']:.1f}ms "
+        f"qps serial={result['hot']['qps_serial']:.0f} "
+        f"concurrent={result['hot']['qps_concurrent']:.0f} "
+        f"304={result['not_modified_304']}",
+        file=sys.stderr,
+    )
+    return result
 
 
 def run_sweep_bench(sweep_scale: float, max_workers: int) -> dict:
@@ -440,68 +549,6 @@ def run_scale_sweep(
     return rows
 
 
-def compare_payloads(
-    current: dict, baseline: dict, threshold: float
-) -> list[str]:
-    """Regression problems in ``current`` relative to ``baseline``.
-
-    Flags any shared top-level benchmark whose mean slowed by more than
-    ``threshold`` (fractional), any digest-equality flag that went
-    false, and any scale-sweep digest that drifted from the baseline's
-    digest at the same (scale, seed).  Empty list = gate passes.
-    """
-    problems: list[str] = []
-    base_benchmarks = baseline.get("benchmarks", {})
-    for name, stats in current.get("benchmarks", {}).items():
-        base = base_benchmarks.get(name)
-        if not base:
-            continue
-        # Compare best-of-rounds, not the mean: on small shared runners
-        # the min is far less sensitive to scheduler noise.
-        base_time = base.get("min", base.get("mean", 0))
-        time_now = stats.get("min", stats.get("mean", 0))
-        if base_time <= 0:
-            continue
-        ratio = time_now / base_time
-        if ratio > 1.0 + threshold:
-            problems.append(
-                f"{name}: {time_now:.3f}s is {ratio:.2f}x baseline "
-                f"{base_time:.3f}s (limit {1.0 + threshold:.2f}x)"
-            )
-    warm = current.get("warm_start")
-    if warm is not None and not warm.get("digest_equal", True):
-        problems.append("warm_start: cold/warm digest drift")
-    current_rows = {
-        (row["scale"], row["seed"]): row
-        for row in current.get("scale_sweep", [])
-    }
-    for row in current.get("scale_sweep", []):
-        if not row.get("digest_equal", True):
-            problems.append(
-                f"scale_sweep {row['scale']}: cold/lazy/eager digest drift"
-            )
-    for base_row in baseline.get("scale_sweep", []):
-        row = current_rows.get((base_row["scale"], base_row["seed"]))
-        if row is None:
-            continue
-        if base_row.get("world_digest") != row.get("world_digest"):
-            problems.append(
-                f"scale_sweep {row['scale']}: digest drifted from baseline "
-                f"({base_row.get('world_digest')} -> "
-                f"{row.get('world_digest')})"
-            )
-        # Sweep points are single runs, so allow twice the tolerance
-        # before calling a regression.
-        base_cold = base_row.get("cold", {}).get("seconds", 0)
-        cold = row.get("cold", {}).get("seconds", 0)
-        if base_cold > 0 and cold / base_cold > 1.0 + 2 * threshold:
-            problems.append(
-                f"scale_sweep {row['scale']}: cold build {cold:.2f}s is "
-                f"{cold / base_cold:.2f}x baseline {base_cold:.2f}s"
-            )
-    return problems
-
-
 def git_rev() -> str:
     try:
         out = subprocess.run(
@@ -671,6 +718,23 @@ def main(argv: list[str] | None = None) -> int:
         help="worker count for the parallel sweep phase (default: 4)",
     )
     parser.add_argument(
+        "--serve",
+        action="store_true",
+        help="also benchmark the measurement service (QPS, percentiles)",
+    )
+    parser.add_argument(
+        "--serve-scale",
+        type=float,
+        default=0.05,
+        help="world scale for the serve benchmark (default: 0.05)",
+    )
+    parser.add_argument(
+        "--serve-requests",
+        type=int,
+        default=200,
+        help="hot-cache requests per serve phase (default: 200)",
+    )
+    parser.add_argument(
         "--no-warm-start",
         action="store_true",
         help="skip the checkpoint cold-vs-warm comparison",
@@ -702,6 +766,13 @@ def main(argv: list[str] | None = None) -> int:
     sweep = (
         run_sweep_bench(args.sweep_scale, max(2, args.sweep_workers))
         if args.sweep
+        else None
+    )
+    # The serve bench spawns its own worker processes (fresh
+    # interpreters, so this process's RSS never contaminates them).
+    serve = (
+        run_serve_bench(args.serve_scale, args.serve_requests)
+        if args.serve
         else None
     )
     # Scale-sweep points run in fresh subprocesses, so ordering versus
@@ -751,6 +822,8 @@ def main(argv: list[str] | None = None) -> int:
         payload["kernels"] = kernel_benchmarks
     if sweep is not None:
         payload["sweep"] = sweep
+    if serve is not None:
+        payload["serve"] = serve
     out_path = args.output_dir / f"BENCH_{args.label}.json"
     out_path.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {out_path}", file=sys.stderr)

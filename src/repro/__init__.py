@@ -20,8 +20,9 @@ See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-vs-measured record of every table and figure.
 """
 
+from repro.config import RuntimeConfig
 from repro.errors import ReproError
 
 __version__ = "1.0.0"
 
-__all__ = ["ReproError", "__version__"]
+__all__ = ["ReproError", "RuntimeConfig", "__version__"]

@@ -1,0 +1,346 @@
+"""``repro bench``: the benchmark trajectory as a queryable ledger.
+
+``benchmarks/run.py`` measures; this module *remembers*.  Each recorded
+run lands as one self-digested JSONL record in ``<cache_dir>/bench/`` —
+the same append-only, digest-verified format :mod:`repro.sweep.ledger`
+uses for sweep events — so the ``BENCH_pr*.json`` trajectory becomes a
+single file the CLI can list, baseline and diff without scraping the
+repository root for loose JSON files.
+
+Verbs (``repro bench ...``)::
+
+    run       run benchmarks/run.py (or ingest --from-json) and record it
+    list      print the recorded runs, newest last, baseline starred
+    baseline  mark a recorded run as the comparison baseline
+    compare   diff a run against the baseline (exit 3 on regression)
+    clean     drop all but the N most recent runs
+
+:func:`compare_payloads` is the regression gate shared with
+``benchmarks/run.py --compare`` — it lives here so the CLI and the
+benchmark runner apply identical rules.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import shlex
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import Any
+
+from repro.sweep.ledger import _line_digest
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "BenchLedger",
+    "compare_payloads",
+    "main",
+]
+
+log = logging.getLogger(__name__)
+
+BENCH_SCHEMA_VERSION = 1
+
+LEDGER_FILE = "ledger.jsonl"
+
+#: ``benchmarks/run.py`` relative to the repository root (this module
+#: lives at ``src/repro/bench.py``).
+_RUNNER = Path(__file__).resolve().parent.parent.parent / "benchmarks" / "run.py"
+
+
+def compare_payloads(
+    current: dict, baseline: dict, threshold: float
+) -> list[str]:
+    """Regression problems in ``current`` relative to ``baseline``.
+
+    Flags any shared top-level benchmark whose best-of-rounds time
+    slowed by more than ``threshold`` (fractional), any digest-equality
+    flag that went false, and any scale-sweep digest that drifted from
+    the baseline's digest at the same (scale, seed).  Empty list = gate
+    passes.
+    """
+    problems: list[str] = []
+    base_benchmarks = baseline.get("benchmarks", {})
+    for name, stats in current.get("benchmarks", {}).items():
+        base = base_benchmarks.get(name)
+        if not base:
+            continue
+        # Compare best-of-rounds, not the mean: on small shared runners
+        # the min is far less sensitive to scheduler noise.
+        base_time = base.get("min", base.get("mean", 0))
+        time_now = stats.get("min", stats.get("mean", 0))
+        if base_time <= 0:
+            continue
+        ratio = time_now / base_time
+        if ratio > 1.0 + threshold:
+            problems.append(
+                f"{name}: {time_now:.3f}s is {ratio:.2f}x baseline "
+                f"{base_time:.3f}s (limit {1.0 + threshold:.2f}x)"
+            )
+    warm = current.get("warm_start")
+    if warm is not None and not warm.get("digest_equal", True):
+        problems.append("warm_start: cold/warm digest drift")
+    current_rows = {
+        (row["scale"], row["seed"]): row
+        for row in current.get("scale_sweep", [])
+    }
+    for row in current.get("scale_sweep", []):
+        if not row.get("digest_equal", True):
+            problems.append(
+                f"scale_sweep {row['scale']}: cold/lazy/eager digest drift"
+            )
+    for base_row in baseline.get("scale_sweep", []):
+        row = current_rows.get((base_row["scale"], base_row["seed"]))
+        if row is None:
+            continue
+        if base_row.get("world_digest") != row.get("world_digest"):
+            problems.append(
+                f"scale_sweep {row['scale']}: digest drifted from baseline "
+                f"({base_row.get('world_digest')} -> "
+                f"{row.get('world_digest')})"
+            )
+        # Sweep points are single runs, so allow twice the tolerance
+        # before calling a regression.
+        base_cold = base_row.get("cold", {}).get("seconds", 0)
+        cold = row.get("cold", {}).get("seconds", 0)
+        if base_cold > 0 and cold / base_cold > 1.0 + 2 * threshold:
+            problems.append(
+                f"scale_sweep {row['scale']}: cold build {cold:.2f}s is "
+                f"{cold / base_cold:.2f}x baseline {base_cold:.2f}s"
+            )
+    return problems
+
+
+class BenchLedger:
+    """Append-only, digest-verified log of benchmark runs and baselines.
+
+    Two event kinds: ``run`` (carries the full ``BENCH_<label>.json``
+    payload) and ``baseline`` (marks a recorded label as the comparison
+    anchor; the latest marker wins).  Records whose embedded sha256
+    does not match are dropped with a warning, exactly as in the sweep
+    ledger.
+    """
+
+    def __init__(self, directory: str | Path):
+        self.directory = Path(directory)
+        self.path = self.directory / LEDGER_FILE
+
+    def append(self, event: str, label: str, **fields: Any) -> None:
+        """Append one event record (flushed immediately, digest embedded)."""
+        record: dict[str, Any] = {
+            "schema_version": BENCH_SCHEMA_VERSION,
+            "event": event,
+            "label": label,
+            "recorded": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        }
+        record.update(fields)
+        record["sha256"] = _line_digest(record)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+            handle.flush()
+
+    def records(self) -> list[dict]:
+        """Every verified record, oldest first; corrupt lines are dropped."""
+        if not self.path.exists():
+            return []
+        verified: list[dict] = []
+        for number, line in enumerate(
+            self.path.read_text(encoding="utf-8").splitlines(), start=1
+        ):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                log.warning("bench ledger line %d is not JSON; dropped", number)
+                continue
+            if not isinstance(record, dict):
+                log.warning("bench ledger line %d is not a record; dropped", number)
+                continue
+            expected = record.pop("sha256", None)
+            if _line_digest(record) != expected:
+                log.warning("bench ledger line %d failed its digest; dropped", number)
+                continue
+            verified.append(record)
+        return verified
+
+    def runs(self) -> dict[str, dict]:
+        """Label -> latest ``run`` record, in first-recorded order."""
+        ordered: dict[str, dict] = {}
+        for record in self.records():
+            if record.get("event") == "run":
+                ordered[record["label"]] = record
+        return ordered
+
+    def baseline_label(self) -> str | None:
+        """The label the latest ``baseline`` marker points at, if any."""
+        label = None
+        for record in self.records():
+            if record.get("event") == "baseline":
+                label = record["label"]
+        return label
+
+    def clean(self, keep: int) -> list[str]:
+        """Rewrite the ledger keeping the ``keep`` most recent runs.
+
+        Baseline markers pointing at surviving labels survive too.
+        Returns the labels that were dropped.
+        """
+        runs = self.runs()
+        kept = set(list(runs)[-keep:]) if keep > 0 else set()
+        dropped = [label for label in runs if label not in kept]
+        survivors = [
+            record
+            for record in self.records()
+            if record.get("label") in kept
+        ]
+        if not self.path.exists():
+            return []
+        staging = self.path.with_suffix(".jsonl.staging")
+        with staging.open("w", encoding="utf-8") as handle:
+            for record in survivors:
+                body = dict(record)
+                body["sha256"] = _line_digest(body)
+                handle.write(json.dumps(body, sort_keys=True) + "\n")
+        os.replace(staging, self.path)
+        return dropped
+
+
+def _ledger_from(args) -> BenchLedger | None:
+    """The bench ledger under the selected checkpoint store, if any."""
+    from repro.datasets.checkpoint import CheckpointStore, default_store
+
+    if getattr(args, "cache_dir", None):
+        store = CheckpointStore(args.cache_dir)
+    else:
+        store = default_store()
+    if store is None:
+        print(
+            "repro bench: no checkpoint store; pass --cache-dir or set "
+            "REPRO_CACHE_DIR",
+            file=sys.stderr,
+        )
+        return None
+    return BenchLedger(store.root / "bench")
+
+
+def _bench_run(args, ledger: BenchLedger) -> int:
+    if args.from_json:
+        source = Path(args.from_json)
+        try:
+            payload = json.loads(source.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as error:
+            print(f"repro bench: cannot read {source}: {error}", file=sys.stderr)
+            return 2
+        label = args.label or payload.get("label") or source.stem
+    else:
+        label = args.label or time.strftime("run-%Y%m%d-%H%M%S", time.gmtime())
+        if not _RUNNER.exists():
+            print(f"repro bench: {_RUNNER} not found", file=sys.stderr)
+            return 2
+        output_dir = ledger.directory
+        output_dir.mkdir(parents=True, exist_ok=True)
+        command = [
+            sys.executable,
+            str(_RUNNER),
+            "--label",
+            label,
+            "--output-dir",
+            str(output_dir),
+        ] + shlex.split(args.args)
+        code = subprocess.run(command).returncode
+        if code != 0:
+            print(f"repro bench: runner exited {code}", file=sys.stderr)
+            return code
+        payload = json.loads(
+            (output_dir / f"BENCH_{label}.json").read_text(encoding="utf-8")
+        )
+    ledger.append("run", label, payload=payload)
+    print(f"recorded {label}")
+    return 0
+
+
+def _bench_list(ledger: BenchLedger) -> int:
+    runs = ledger.runs()
+    if not runs:
+        print("no recorded runs")
+        return 0
+    baseline = ledger.baseline_label()
+    print(f"{'':2}{'label':<24} {'recorded':<22} {'rev':<10} benchmarks")
+    for label, record in runs.items():
+        payload = record.get("payload") or {}
+        marker = "* " if label == baseline else "  "
+        names = ", ".join(sorted(payload.get("benchmarks", {}))) or "-"
+        print(
+            f"{marker}{label:<24} {record.get('recorded', '-'):<22} "
+            f"{payload.get('git_rev', '-'):<10} {names}"
+        )
+    return 0
+
+
+def _bench_baseline(args, ledger: BenchLedger) -> int:
+    runs = ledger.runs()
+    label = args.label or (list(runs)[-1] if runs else None)
+    if label is None:
+        print("repro bench: no recorded runs to baseline", file=sys.stderr)
+        return 2
+    if label not in runs:
+        print(f"repro bench: no recorded run {label!r}", file=sys.stderr)
+        return 2
+    ledger.append("baseline", label)
+    print(f"baseline -> {label}")
+    return 0
+
+
+def _bench_compare(args, ledger: BenchLedger) -> int:
+    runs = ledger.runs()
+    label = args.label or (list(runs)[-1] if runs else None)
+    if label is None or label not in runs:
+        print(f"repro bench: no recorded run {label!r}", file=sys.stderr)
+        return 2
+    base_label = ledger.baseline_label()
+    if base_label is None or base_label not in runs:
+        print("repro bench: no baseline recorded", file=sys.stderr)
+        return 2
+    problems = compare_payloads(
+        runs[label].get("payload") or {},
+        runs[base_label].get("payload") or {},
+        args.threshold,
+    )
+    if problems:
+        print(f"{label} vs baseline {base_label}: REGRESSION", file=sys.stderr)
+        for problem in problems:
+            print(f"  {problem}", file=sys.stderr)
+        return 3
+    print(f"{label} vs baseline {base_label}: ok")
+    return 0
+
+
+def _bench_clean(args, ledger: BenchLedger) -> int:
+    dropped = ledger.clean(args.keep)
+    print(f"dropped {len(dropped)} run(s)" + (": " + ", ".join(dropped) if dropped else ""))
+    return 0
+
+
+def main(args) -> int:
+    """Entry point for ``repro bench``; returns the process exit code."""
+    ledger = _ledger_from(args)
+    if ledger is None:
+        return 2
+    if args.bench_command == "run":
+        return _bench_run(args, ledger)
+    if args.bench_command == "list":
+        return _bench_list(ledger)
+    if args.bench_command == "baseline":
+        return _bench_baseline(args, ledger)
+    if args.bench_command == "compare":
+        return _bench_compare(args, ledger)
+    if args.bench_command == "clean":
+        return _bench_clean(args, ledger)
+    raise AssertionError(f"unknown bench command {args.bench_command!r}")

@@ -32,8 +32,10 @@ from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 
+from repro import config as _config
 from repro import kernels, obs
 from repro.bgp.announcement import Announcement, RibEntry
+from repro.config import RuntimeConfig
 from repro.bgp.policy import RouteClass
 from repro.bgp.propagation import PropagationEngine
 from repro.net.prefix import Prefix
@@ -175,21 +177,39 @@ def collect_rib(
     vantage_points: Sequence[int],
     jobs: int | None = None,
     shards: int | None = None,
+    runtime: RuntimeConfig | None = None,
 ) -> RibSnapshot:
     """Propagate every announcement and record vantage-point routes.
 
-    ``jobs`` (default: the ``REPRO_JOBS`` environment variable, else
-    serial) fans the per-group propagation across worker processes.  The
-    output is identical either way: groups are keyed and emitted in one
-    deterministic order, and each group's paths depend only on (origin,
-    route class, vantage points).
+    ``runtime`` installs a :class:`repro.config.RuntimeConfig` for the
+    duration of the call; ``jobs``/``shards`` arguments still win over
+    it when given explicitly.
 
-    ``shards`` (default: ``REPRO_SHARDS``, else 1) instead splits the
-    *vantage points* into contiguous chunks, each propagated by a worker
-    that emits packed path columns; the driver merges the column shards
-    in shard order, which reproduces the serial vantage-point iteration
-    order exactly — see DESIGN §13 for the determinism argument.
+    ``jobs`` (default: the runtime config, whose fallback is the
+    ``REPRO_JOBS`` environment variable, else serial) fans the per-group
+    propagation across worker processes.  The output is identical either
+    way: groups are keyed and emitted in one deterministic order, and
+    each group's paths depend only on (origin, route class, vantage
+    points).
+
+    ``shards`` (default: the runtime config / ``REPRO_SHARDS``, else 1)
+    instead splits the *vantage points* into contiguous chunks, each
+    propagated by a worker that emits packed path columns; the driver
+    merges the column shards in shard order, which reproduces the serial
+    vantage-point iteration order exactly — see DESIGN §13 for the
+    determinism argument.
     """
+    with _config.use(runtime):
+        return _collect_rib(engine, announcements, vantage_points, jobs, shards)
+
+
+def _collect_rib(
+    engine: PropagationEngine,
+    announcements: Iterable[tuple[Announcement, RouteClass]],
+    vantage_points: Sequence[int],
+    jobs: int | None,
+    shards: int | None,
+) -> RibSnapshot:
     grouped: dict[tuple[int, RouteClass], list[Prefix]] = {}
     for announcement, route_class in announcements:
         grouped.setdefault((announcement.origin, route_class), []).append(

@@ -41,12 +41,12 @@ Two fast paths keep full-table collection affordable:
 
 from __future__ import annotations
 
-import os
 from collections import OrderedDict, defaultdict
 from dataclasses import dataclass
 from enum import IntEnum
 from typing import Iterable, Mapping
 
+from repro import config as _config
 from repro import obs
 from repro.bgp.policy import ASPolicy, RouteClass, covers_session
 from repro.errors import TopologyError
@@ -153,16 +153,14 @@ class PropagationEngine:
             self._customers[asn] = tuple(sorted(topology.customers_of(asn)))
             self._peers[asn] = tuple(sorted(topology.peers_of(asn)))
             self._policies[asn] = policies.get(asn, _DEFAULT_POLICY)
-        # An explicit size (argument or REPRO_PATHS_CACHE) is pinned;
-        # otherwise the default acts as a floor that collection may grow.
+        # An explicit size (argument or the runtime config's paths_cache,
+        # fed by REPRO_PATHS_CACHE) is pinned; otherwise the default acts
+        # as a floor that collection may grow.
         if paths_cache_size is None:
-            env = os.environ.get("REPRO_PATHS_CACHE", "")
-            if env:
-                self._paths_cache_size = int(env)
-                self._cache_pinned = True
-            else:
-                self._paths_cache_size = DEFAULT_PATHS_CACHE_SIZE
-                self._cache_pinned = False
+            paths_cache_size = _config.current().paths_cache
+        if paths_cache_size is None:
+            self._paths_cache_size = DEFAULT_PATHS_CACHE_SIZE
+            self._cache_pinned = False
         else:
             self._paths_cache_size = paths_cache_size
             self._cache_pinned = True

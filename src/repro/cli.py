@@ -10,6 +10,9 @@ Commands::
     ready      check whether an AS meets the MANRS requirements
     cache      manage the checkpoint store (list, verify, prune, warm)
     sweep      orchestrate job grids (run, resume, status, report, list)
+    serve      run the measurement service (async HTTP query API)
+    bench      manage the benchmark ledger (run, list, baseline, compare,
+               clean)
 
 ``repro reproduce --list`` and ``repro sweep list`` print the
 experiment registry table (name, title, paper ref) without building a
@@ -201,6 +204,75 @@ def build_parser() -> argparse.ArgumentParser:
         "list", parents=[common],
         help="print the experiment registry table",
     )
+    serve = sub.add_parser(
+        "serve", parents=[common],
+        help="run the measurement service (async HTTP query API)",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: loopback)"
+    )
+    serve.add_argument(
+        "--port", type=int, default=8351,
+        help="bind port (0 = ephemeral; default: 8351)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=2,
+        help="build worker processes (default: 2)",
+    )
+    serve.add_argument(
+        "--queue-limit", type=int, default=None,
+        help="pending cold builds before 503 (default: 32)",
+    )
+    serve.add_argument(
+        "--builders", type=int, default=None,
+        help="concurrent queue drains (default: 2)",
+    )
+    bench = sub.add_parser(
+        "bench", parents=[common],
+        help="manage the benchmark ledger (run, list, baseline, compare, clean)",
+    )
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+    bench_run = bench_sub.add_parser(
+        "run", parents=[common],
+        help="run benchmarks/run.py and record the result",
+    )
+    bench_run.add_argument(
+        "--label", default=None, help="run label (default: timestamp)"
+    )
+    bench_run.add_argument(
+        "--from-json", metavar="PATH", default=None,
+        help="ingest an existing BENCH_*.json instead of running",
+    )
+    bench_run.add_argument(
+        "--args", default="", metavar="ARGS",
+        help="extra arguments passed through to benchmarks/run.py",
+    )
+    bench_sub.add_parser(
+        "list", parents=[common], help="list recorded benchmark runs"
+    )
+    baseline = bench_sub.add_parser(
+        "baseline", parents=[common],
+        help="mark a recorded run as the comparison baseline",
+    )
+    baseline.add_argument("label", nargs="?", default=None,
+                          help="run label (default: the latest run)")
+    compare = bench_sub.add_parser(
+        "compare", parents=[common],
+        help="compare a run against the baseline (exit 3 on regression)",
+    )
+    compare.add_argument("label", nargs="?", default=None,
+                         help="run label (default: the latest run)")
+    compare.add_argument(
+        "--threshold", type=float, default=0.25,
+        help="regression threshold as a fraction (default: 0.25)",
+    )
+    clean = bench_sub.add_parser(
+        "clean", parents=[common], help="drop old benchmark records"
+    )
+    clean.add_argument(
+        "--keep", type=int, default=10, metavar="N",
+        help="keep the N most recent runs (default: 10)",
+    )
     return parser
 
 
@@ -241,6 +313,10 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cache(args)
     if args.command == "sweep":
         return _sweep(args)
+    if args.command == "serve":
+        return _serve(args)
+    if args.command == "bench":
+        return _bench(args)
     if args.command == "reproduce":
         if args.list:
             print(registry_table())
@@ -288,6 +364,54 @@ def _dispatch(args: argparse.Namespace) -> int:
             else:
                 print(render_readiness(readiness))
     return 0
+
+
+def _serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.config import RuntimeConfig
+    from repro.serve import (
+        DEFAULT_BUILDERS,
+        DEFAULT_QUEUE_LIMIT,
+        ReproService,
+        serve_forever,
+    )
+
+    store = _store_from(args)
+    runtime = RuntimeConfig.resolve(
+        cache_dir=str(store.root) if store is not None else None
+    )
+    service = ReproService(
+        store=store,
+        runtime=runtime,
+        workers=args.workers,
+        queue_limit=args.queue_limit or DEFAULT_QUEUE_LIMIT,
+        builders=args.builders or DEFAULT_BUILDERS,
+    )
+    if store is None:
+        print(
+            "serving without a cache directory: results are cached "
+            "in memory only (pass --cache-dir to persist them)",
+            file=sys.stderr,
+        )
+    try:
+        asyncio.run(
+            serve_forever(
+                service,
+                args.host,
+                args.port,
+                announce=lambda line: print(line, flush=True),
+            )
+        )
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    return 0
+
+
+def _bench(args: argparse.Namespace) -> int:
+    from repro import bench
+
+    return bench.main(args)
 
 
 def _sweep(args: argparse.Namespace) -> int:

@@ -1,0 +1,269 @@
+"""One front door for every runtime knob: :class:`RuntimeConfig`.
+
+The performance work of PRs 1–6 accreted a knob per subsystem, each its
+own environment variable read at its own call site: ``REPRO_JOBS``
+(worker processes), ``REPRO_SHARDS`` (column shards), ``REPRO_KERNELS``
+(numpy vs pure-Python kernels), ``REPRO_MMAP`` (memory-mapped column
+loads), ``REPRO_WORLD_LOAD`` (columnar vs eager warm starts),
+``REPRO_CACHE_DIR`` (the checkpoint store), ``REPRO_WORLD_CACHE_SIZE``
+(the in-memory world LRU) and ``REPRO_PATHS_CACHE`` (the propagation
+path cache).  This module consolidates them into a single frozen
+dataclass resolved **once** with a fixed precedence:
+
+    explicit overrides  >  environment variables  >  defaults
+
+Environment variables remain the documented *fallback* (scripts and CI
+keep working unchanged), but the programmatic API is the config object:
+
+    from repro.config import RuntimeConfig
+
+    runtime = RuntimeConfig.resolve(jobs=4, shards=2)   # env fills the rest
+    world = build_world(scale=1.0, seed=7, runtime=runtime)
+
+Every entry point that used to read an environment variable now accepts
+``runtime=`` (``build_world``, ``collect_rib``, ``validate_many``,
+``validate_irr_many``, ``build_ihr_dataset``, ``run_sweep``, the serve
+layer) and low-level call-time readers consult :func:`current`, which
+returns the installed process-wide config or — when none is installed —
+re-resolves from the environment on each call, preserving the historical
+"read at call time" semantics tests rely on.
+
+:func:`use` installs a config for a ``with`` block (the world builder
+does this when handed ``runtime=``, so even leaf decisions like kernel
+mode honour the explicit object); :func:`set_current` installs one for
+the rest of the process (sweep and serve workers do this at pool init).
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass, fields, replace
+from typing import Iterator, Mapping
+
+__all__ = [
+    "ENV_VARS",
+    "KERNEL_MODES",
+    "WORLD_LOAD_MODES",
+    "RuntimeConfig",
+    "current",
+    "set_current",
+    "use",
+]
+
+log = logging.getLogger(__name__)
+
+#: Recognised kernel implementations (see :mod:`repro.kernels`).
+KERNEL_MODES = ("numpy", "python")
+
+#: Recognised warm-start strategies (see :mod:`repro.datasets.checkpoint`).
+WORLD_LOAD_MODES = ("columnar", "eager")
+
+#: Field name → environment variable.  The table *is* the documentation
+#: of the fallback contract; README's knob table renders from the same
+#: names.
+ENV_VARS: Mapping[str, str] = {
+    "jobs": "REPRO_JOBS",
+    "shards": "REPRO_SHARDS",
+    "kernels": "REPRO_KERNELS",
+    "mmap": "REPRO_MMAP",
+    "world_load": "REPRO_WORLD_LOAD",
+    "cache_dir": "REPRO_CACHE_DIR",
+    "world_cache_size": "REPRO_WORLD_CACHE_SIZE",
+    "paths_cache": "REPRO_PATHS_CACHE",
+}
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """Resolved runtime knobs; immutable, comparable, picklable.
+
+    Defaults reproduce the historical behaviour of an empty environment:
+    serial single-shard builds, numpy kernels, memory-mapped columnar
+    warm starts, no on-disk store.
+    """
+
+    #: Worker processes for parallel collection/sharding (0 = all cores).
+    jobs: int = 1
+    #: Column shards for the dominant build stages (1 = sharding off).
+    shards: int = 1
+    #: Kernel implementation: ``numpy`` or ``python``.
+    kernels: str = "numpy"
+    #: Memory-map checkpoint columns (False = eager decode only).
+    mmap: bool = True
+    #: Warm-start strategy: ``columnar`` (lazy views) or ``eager``.
+    world_load: str = "columnar"
+    #: Checkpoint store root; None disables on-disk persistence.
+    cache_dir: str | None = None
+    #: Most worlds held by the in-memory LRU at once.
+    world_cache_size: int = 4
+    #: Pinned propagation path-cache size; None lets collection size it.
+    paths_cache: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.kernels not in KERNEL_MODES:
+            raise ValueError(
+                f"kernels={self.kernels!r} is not a kernel mode; "
+                f"expected one of {', '.join(KERNEL_MODES)}"
+            )
+        if self.world_load not in WORLD_LOAD_MODES:
+            raise ValueError(
+                f"world_load={self.world_load!r} is not a load mode; "
+                f"expected one of {', '.join(WORLD_LOAD_MODES)}"
+            )
+        if self.world_cache_size < 1:
+            raise ValueError("world_cache_size must be >= 1")
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def from_env(cls, env: Mapping[str, str] | None = None) -> "RuntimeConfig":
+        """The config an empty-argument run resolves to: env over defaults.
+
+        Parsing is as lenient as the per-site readers it replaced — a
+        malformed value falls back to the field default rather than
+        breaking an analysis run — with one deliberate exception:
+        ``REPRO_KERNELS`` raises on unrecognised values, because a typo
+        there must not silently change which implementation ran.
+        """
+        env = os.environ if env is None else env
+        values: dict[str, object] = {}
+
+        raw = env.get(ENV_VARS["jobs"], "").strip()
+        if raw:
+            try:
+                values["jobs"] = int(raw)
+            except ValueError:
+                pass
+
+        raw = env.get(ENV_VARS["shards"], "").strip()
+        if raw:
+            try:
+                values["shards"] = max(1, int(raw))
+            except ValueError:
+                log.warning(
+                    "%s=%r is non-integer; sharding stays off",
+                    ENV_VARS["shards"],
+                    raw,
+                )
+
+        raw = env.get(ENV_VARS["kernels"], "").strip().lower()
+        if raw:
+            if raw not in KERNEL_MODES:
+                raise ValueError(
+                    f"{ENV_VARS['kernels']}={raw!r} is not a kernel mode; "
+                    f"expected one of {', '.join(KERNEL_MODES)}"
+                )
+            values["kernels"] = raw
+
+        raw = env.get(ENV_VARS["mmap"], "").strip().lower()
+        if raw:
+            values["mmap"] = raw not in ("0", "false", "off", "no")
+
+        raw = env.get(ENV_VARS["world_load"], "").strip().lower()
+        if raw in WORLD_LOAD_MODES:
+            values["world_load"] = raw
+
+        raw = env.get(ENV_VARS["cache_dir"], "").strip()
+        if raw:
+            values["cache_dir"] = raw
+
+        raw = env.get(ENV_VARS["world_cache_size"], "").strip()
+        if raw:
+            try:
+                size = int(raw)
+            except ValueError:
+                size = 0
+            if size > 0:
+                values["world_cache_size"] = size
+
+        raw = env.get(ENV_VARS["paths_cache"], "").strip()
+        if raw:
+            try:
+                values["paths_cache"] = int(raw)
+            except ValueError:
+                pass
+
+        return cls(**values)
+
+    @classmethod
+    def resolve(
+        cls,
+        env: Mapping[str, str] | None = None,
+        **overrides: object,
+    ) -> "RuntimeConfig":
+        """Resolve with the documented precedence: explicit > env > default.
+
+        ``None`` overrides mean "not specified" and defer to the
+        environment (every field's ``None`` is either not a valid value
+        or already the default), so callers can pass optional CLI
+        arguments straight through.
+        """
+        known = {field.name for field in fields(cls)}
+        unknown = set(overrides) - known
+        if unknown:
+            raise TypeError(
+                f"unknown runtime field(s) {sorted(unknown)}; "
+                f"choose from {sorted(known)}"
+            )
+        base = cls.from_env(env)
+        explicit = {
+            name: value for name, value in overrides.items() if value is not None
+        }
+        return replace(base, **explicit) if explicit else base
+
+    def merged(self, **overrides: object) -> "RuntimeConfig":
+        """A copy with non-None ``overrides`` applied on top."""
+        explicit = {
+            name: value for name, value in overrides.items() if value is not None
+        }
+        return replace(self, **explicit) if explicit else self
+
+    # -- derived values ------------------------------------------------------
+
+    def effective_jobs(self) -> int:
+        """Concrete worker count: ``jobs`` with 0 meaning all cores."""
+        if self.jobs <= 0:
+            return os.cpu_count() or 1
+        return self.jobs
+
+
+# -- the process-wide active config ------------------------------------------
+
+_active: RuntimeConfig | None = None
+
+
+def current() -> RuntimeConfig:
+    """The active config: the installed one, else a fresh env resolution.
+
+    When nothing is installed this re-reads the environment on every
+    call, preserving the historical call-time semantics (tests flip
+    ``REPRO_KERNELS`` etc. with ``monkeypatch.setenv`` mid-process).
+    """
+    return _active if _active is not None else RuntimeConfig.from_env()
+
+
+def set_current(runtime: RuntimeConfig | None) -> None:
+    """Install ``runtime`` process-wide (None restores env fallback)."""
+    global _active
+    _active = runtime
+
+
+@contextmanager
+def use(runtime: RuntimeConfig | None) -> Iterator[None]:
+    """Install ``runtime`` for the duration of a ``with`` block.
+
+    ``None`` is a no-op pass-through, so call sites can wrap their body
+    unconditionally: ``with config.use(runtime): ...``.
+    """
+    if runtime is None:
+        yield
+        return
+    global _active
+    previous = _active
+    _active = runtime
+    try:
+        yield
+    finally:
+        _active = previous

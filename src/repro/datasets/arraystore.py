@@ -24,13 +24,13 @@ from __future__ import annotations
 
 import logging
 import mmap as _mmap
-import os
 import struct
 import zipfile
 from pathlib import Path
 
 import numpy as np
 
+from repro import config as _config
 from repro import obs
 
 __all__ = ["ColumnSet", "mmap_enabled", "open_columns"]
@@ -46,9 +46,12 @@ _LOCAL_MAGIC = b"PK\x03\x04"
 
 
 def mmap_enabled() -> bool:
-    """True unless ``REPRO_MMAP`` is set to 0/false/off/no."""
-    raw = os.environ.get(MMAP_ENV, "").strip().lower()
-    return raw not in ("0", "false", "off", "no")
+    """True unless the active runtime config disables mapping.
+
+    Resolved through :func:`repro.config.current` (falling back to
+    ``REPRO_MMAP``; 0/false/off/no disables).
+    """
+    return _config.current().mmap
 
 
 class ColumnSet:

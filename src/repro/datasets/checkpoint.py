@@ -49,6 +49,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro import config as _config
 from repro import obs
 from repro.bgp.collector import RibSnapshot, RouteGroup
 from repro.bgp.policy import RouteClass
@@ -97,6 +98,7 @@ from repro.topology.relationships import (
 __all__ = [
     "SCHEMA_VERSION",
     "CACHE_DIR_ENV",
+    "RESERVED_DIRS",
     "WORLD_LOAD_ENV",
     "CheckpointError",
     "CheckpointInfo",
@@ -124,6 +126,12 @@ CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 #: full object graph up front (the pre-PR-6 behaviour).
 WORLD_LOAD_ENV = "REPRO_WORLD_LOAD"
 
+#: Store subdirectories that are not world entries: the sweep ledgers,
+#: the serve layer's rendered-result cache and the bench ledger live
+#: beside the content-addressed entries and are skipped by
+#: :meth:`CheckpointStore.entries`/``verify``/``prune``.
+RESERVED_DIRS = ("sweeps", "results", "bench")
+
 MANIFEST_FILE = "MANIFEST.json"
 TOPOLOGY_FILE = "topology.json"
 SCENARIO_FILE = "scenario.json"
@@ -137,9 +145,12 @@ _JSON_COMPACT = {"sort_keys": False, "separators": (",", ":")}
 
 
 def world_load_mode() -> str:
-    """The warm-start strategy from ``REPRO_WORLD_LOAD`` (default columnar)."""
-    raw = os.environ.get(WORLD_LOAD_ENV, "").strip().lower()
-    return raw if raw in ("columnar", "eager") else "columnar"
+    """The warm-start strategy from the active runtime config.
+
+    Resolved through :func:`repro.config.current` (falling back to
+    ``REPRO_WORLD_LOAD``; default columnar).
+    """
+    return _config.current().world_load
 
 
 class CheckpointError(Exception):
@@ -1221,6 +1232,88 @@ class CheckpointStore:
         obs.add("checkpoint.saved")
         return entry
 
+    # -- rendered-result payloads (the serve layer's cache) -----------------
+
+    def result_path(self, key: str) -> Path:
+        """Where the rendered-result payload for ``key`` lives on disk."""
+        return self.root / "results" / f"{key}.json"
+
+    def save_result(self, key: str, payload: dict) -> Path:
+        """Persist one rendered-result payload under its content key.
+
+        Results live under ``<root>/results/<key>.json`` beside the world
+        entries, wrapped with a digest over the canonical record so a
+        truncated or hand-edited file is detected on load.  Writing is
+        atomic (temp file + rename), and an existing entry for the same
+        key is left untouched — content-addressed keys for equal inputs
+        hold equal payloads.
+        """
+        path = self.result_path(key)
+        if path.is_file():
+            return path
+        record = {
+            "schema_version": SCHEMA_VERSION,
+            "key": key,
+            "created": time.time(),
+            "payload": payload,
+        }
+        record["sha256"] = _sha256_text(
+            json.dumps(record, sort_keys=True, separators=(",", ":"))
+        )
+        path.parent.mkdir(parents=True, exist_ok=True)
+        staging = path.parent / f".staging-{key[:16]}-{os.getpid()}.json"
+        staging.write_text(json.dumps(record, sort_keys=True, indent=1))
+        try:
+            os.replace(staging, path)
+        except OSError:
+            staging.unlink(missing_ok=True)
+        obs.add("checkpoint.result_saved")
+        return path
+
+    def load_result(self, key: str) -> dict | None:
+        """The stored rendered-result payload for ``key``, or None.
+
+        Mirrors :meth:`load`'s corrupt-entry contract: digest mismatches,
+        schema skew and parse errors log a warning, discard the file,
+        count ``checkpoint.result_corrupt`` and fall back to a miss —
+        callers never see a tampered payload.
+        """
+        path = self.result_path(key)
+        if not path.is_file():
+            obs.add("checkpoint.result_miss")
+            return None
+        try:
+            record = json.loads(path.read_text())
+            stated = record.pop("sha256")
+            computed = _sha256_text(
+                json.dumps(record, sort_keys=True, separators=(",", ":"))
+            )
+            if stated != computed:
+                raise CheckpointError("result digest mismatch")
+            if record.get("schema_version") != SCHEMA_VERSION:
+                raise CheckpointError("result schema skew")
+            if record.get("key") != key:
+                raise CheckpointError("result key mismatch")
+            payload = record["payload"]
+        except Exception as error:  # noqa: BLE001 - corrupt entry = miss
+            log.warning("discarding corrupt result %s: %s", key[:16], error)
+            path.unlink(missing_ok=True)
+            obs.add("checkpoint.result_corrupt")
+            return None
+        obs.add("checkpoint.result_hit")
+        return payload
+
+    def result_keys(self) -> list[str]:
+        """Keys of every stored result payload (unverified)."""
+        results_dir = self.root / "results"
+        if not results_dir.is_dir():
+            return []
+        return sorted(
+            path.stem
+            for path in results_dir.glob("*.json")
+            if not path.name.startswith(".")
+        )
+
     # -- load ---------------------------------------------------------------
 
     def load(
@@ -1414,6 +1507,8 @@ class CheckpointStore:
         for path in sorted(self.root.iterdir()):
             if not path.is_dir() or path.name.startswith("."):
                 continue
+            if path.name in RESERVED_DIRS:
+                continue
             manifest_path = path / MANIFEST_FILE
             scale = seed = created = None
             complete = False
@@ -1466,6 +1561,10 @@ class CheckpointStore:
 
 
 def default_store() -> CheckpointStore | None:
-    """The store named by ``REPRO_CACHE_DIR``, or None when unset."""
-    root = os.environ.get(CACHE_DIR_ENV, "").strip()
+    """The store named by the active runtime config, or None when unset.
+
+    Resolved through :func:`repro.config.current` (falling back to
+    ``REPRO_CACHE_DIR``).
+    """
+    root = _config.current().cache_dir
     return CheckpointStore(root) if root else None

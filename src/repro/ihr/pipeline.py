@@ -20,8 +20,10 @@ from itertools import chain
 
 import numpy as np
 
+from repro import config as _config
 from repro import kernels, obs
 from repro.bgp.collector import RibSnapshot, RouteGroup
+from repro.config import RuntimeConfig
 from repro.hegemony.scores import DEFAULT_TRIM, hegemony_scores
 from repro.kernels.groupby import hegemony_transits
 from repro.ihr.records import (
@@ -60,6 +62,7 @@ def build_ihr_dataset(
     trim: float = DEFAULT_TRIM,
     shards: int | None = None,
     jobs: int | None = None,
+    runtime: RuntimeConfig | None = None,
 ) -> IHRDataset:
     """Build both IHR tables from one collector snapshot.
 
@@ -67,12 +70,18 @@ def build_ihr_dataset(
     :class:`~repro.bgp.collector.RouteGroup`, so hegemony and the
     learned-from-customer flags are computed once per group.
 
-    ``shards`` (default ``REPRO_SHARDS``, else 1) fans both the bulk
-    route validation (by prefix range) and the transit scoring (by
-    route-group chunk) across a process pool; per-route verdicts and
-    per-group hegemony are independent, so the sharded dataset is
-    identical.
+    ``shards`` (default: the runtime config / ``REPRO_SHARDS``, else 1)
+    fans both the bulk route validation (by prefix range) and the
+    transit scoring (by route-group chunk) across a process pool;
+    per-route verdicts and per-group hegemony are independent, so the
+    sharded dataset is identical.  ``runtime`` installs a
+    :class:`repro.config.RuntimeConfig` for the duration of the call.
     """
+    if runtime is not None:
+        with _config.use(runtime):
+            return build_ihr_dataset(
+                snapshot, rov, irr, topology, trim=trim, shards=shards, jobs=jobs
+            )
     prefix_origins: list[PrefixOriginRecord] = []
     visible = [group for group in snapshot.groups if group.paths]
     shards = resolve_shards(shards)

@@ -28,7 +28,9 @@ from typing import Iterable
 
 import numpy as np
 
+from repro import config as _config
 from repro import kernels, obs
+from repro.config import RuntimeConfig
 from repro.kernels.intervals import RouteIntervalIndex
 from repro.irr.database import IRRCollection, IRRDatabase
 from repro.irr.objects import RouteObject
@@ -233,6 +235,7 @@ def validate_irr_many(
     routes: Iterable[tuple[Prefix, int]],
     shards: int | None = None,
     jobs: int | None = None,
+    runtime: RuntimeConfig | None = None,
 ) -> dict[tuple[Prefix, int], IRRStatus]:
     """Classify a batch of routes with one bulk covering walk.
 
@@ -240,10 +243,15 @@ def validate_irr_many(
     objects for all not-yet-memoised prefixes are collected via the
     registry's ``routes_covering_many`` bulk lookup first.
 
-    ``shards`` (default ``REPRO_SHARDS``, else 1) fans the bulk
-    classification across a process pool by prefix range; verdicts are
-    per-route pure, so the sharded result is identical.
+    ``shards`` (default: the runtime config / ``REPRO_SHARDS``, else 1)
+    fans the bulk classification across a process pool by prefix range;
+    verdicts are per-route pure, so the sharded result is identical.
+    ``runtime`` installs a :class:`repro.config.RuntimeConfig` for the
+    duration of the call.
     """
+    if runtime is not None:
+        with _config.use(runtime):
+            return validate_irr_many(registry, routes, shards=shards, jobs=jobs)
     routes = set(routes)
     memo = _memo_of(registry)
     if memo is None:

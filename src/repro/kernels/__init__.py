@@ -30,12 +30,10 @@ one process.
 
 from __future__ import annotations
 
-import os
+from repro import config as _config
+from repro.config import KERNEL_MODES
 
 __all__ = ["KERNEL_MODES", "kernel_mode", "use_numpy"]
-
-#: Recognised values of ``REPRO_KERNELS``.
-KERNEL_MODES = ("numpy", "python")
 
 _ENV_VAR = "REPRO_KERNELS"
 
@@ -43,18 +41,12 @@ _ENV_VAR = "REPRO_KERNELS"
 def kernel_mode() -> str:
     """The active kernel mode (``numpy`` or ``python``).
 
-    Unset or empty selects ``numpy``; anything unrecognised raises so a
-    typo cannot silently change which implementation ran.
+    Resolved through the active :class:`repro.config.RuntimeConfig`
+    (which falls back to ``REPRO_KERNELS``).  Unset or empty selects
+    ``numpy``; anything unrecognised raises so a typo cannot silently
+    change which implementation ran.
     """
-    mode = os.environ.get(_ENV_VAR, "").strip().lower()
-    if not mode:
-        return "numpy"
-    if mode not in KERNEL_MODES:
-        raise ValueError(
-            f"{_ENV_VAR}={mode!r} is not a kernel mode; "
-            f"expected one of {', '.join(KERNEL_MODES)}"
-        )
-    return mode
+    return _config.current().kernels
 
 
 def use_numpy() -> bool:

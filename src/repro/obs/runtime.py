@@ -13,6 +13,8 @@ import os
 from contextlib import contextmanager
 from typing import Iterator
 
+from repro import config as _config
+
 __all__ = ["JOBS_ENV", "gc_paused", "resolve_jobs"]
 
 JOBS_ENV = "REPRO_JOBS"
@@ -21,20 +23,16 @@ JOBS_ENV = "REPRO_JOBS"
 def resolve_jobs(jobs: int | None = None) -> int:
     """Number of worker processes to use.
 
-    An explicit ``jobs`` argument wins; otherwise ``REPRO_JOBS`` is
-    consulted.  ``0`` (either way) means "all cores"; anything else is
-    clamped to at least 1.  The default with no argument and no env var
-    is 1 (serial), which keeps single-shot builds free of process-pool
-    overhead and bit-reproducible under the simplest configuration.
+    An explicit ``jobs`` argument wins; otherwise the active
+    :class:`repro.config.RuntimeConfig` decides (which falls back to
+    ``REPRO_JOBS`` when none is installed).  ``0`` (either way) means
+    "all cores"; anything else is clamped to at least 1.  The default
+    with no argument, no installed config and no env var is 1 (serial),
+    which keeps single-shot builds free of process-pool overhead and
+    bit-reproducible under the simplest configuration.
     """
     if jobs is None:
-        raw = os.environ.get(JOBS_ENV, "").strip()
-        if not raw:
-            return 1
-        try:
-            jobs = int(raw)
-        except ValueError:
-            return 1
+        jobs = _config.current().jobs
     if jobs <= 0:
         return os.cpu_count() or 1
     return jobs

@@ -13,12 +13,28 @@ name this module ever had keeps working:
 * :func:`resolve_jobs`, :func:`gc_paused`, :func:`enabled` and the env
   var names are straight re-exports.
 
-New code should import :mod:`repro.obs` directly.
+.. deprecated::
+   Importing this module emits a :class:`DeprecationWarning`.  Every
+   name maps 1:1 onto :mod:`repro.obs` (``perf.stage`` → ``obs.span``,
+   ``perf.reset`` → ``obs.reset_trace``; the rest keep their names) —
+   update imports accordingly.  The shim is scheduled for removal two
+   PRs after the serve API lands (see DESIGN.md §"repro.perf removal
+   window"); no in-tree caller uses it any more.
 """
 
 from __future__ import annotations
 
-from repro.obs import (
+import warnings
+
+warnings.warn(
+    "repro.perf is deprecated; import repro.obs instead "
+    "(perf.stage -> obs.span, perf.reset -> obs.reset_trace, other "
+    "names unchanged)",
+    DeprecationWarning,
+    stacklevel=2,
+)
+
+from repro.obs import (  # noqa: E402
     JOBS_ENV,
     PERF_ENV,
     enabled,

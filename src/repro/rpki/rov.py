@@ -22,7 +22,9 @@ from typing import Iterable
 
 import numpy as np
 
+from repro import config as _config
 from repro import kernels, obs
+from repro.config import RuntimeConfig
 from repro.kernels.intervals import RouteIntervalIndex
 from repro.net.prefix import Prefix
 from repro.net.radix import RadixTree
@@ -213,6 +215,7 @@ class ROVValidator:
         routes: Iterable[tuple[Prefix, int]],
         shards: int | None = None,
         jobs: int | None = None,
+        runtime: RuntimeConfig | None = None,
     ) -> dict[tuple[Prefix, int], RPKIStatus]:
         """Classify a batch of routes with one bulk trie walk.
 
@@ -220,10 +223,15 @@ class ROVValidator:
         VRPs for all not-yet-memoised prefixes are gathered via
         :meth:`RadixTree.covering_many` first.
 
-        ``shards`` (default ``REPRO_SHARDS``, else 1) fans the bulk
-        classification across a process pool by prefix range; verdicts
-        are per-route pure, so the sharded result is identical.
+        ``shards`` (default: the runtime config / ``REPRO_SHARDS``, else
+        1) fans the bulk classification across a process pool by prefix
+        range; verdicts are per-route pure, so the sharded result is
+        identical.  ``runtime`` installs a
+        :class:`repro.config.RuntimeConfig` for the duration of the call.
         """
+        if runtime is not None:
+            with _config.use(runtime):
+                return self.validate_many(routes, shards=shards, jobs=jobs)
         routes = set(routes)
         results: dict[tuple[Prefix, int], RPKIStatus] = {}
         pending: list[tuple[Prefix, int]] = []

@@ -21,8 +21,10 @@ from datetime import date, timedelta
 
 import numpy as np
 
+from repro import config as _runtime_config
 from repro import obs
 from repro.bgp.announcement import Announcement
+from repro.config import RuntimeConfig
 from repro.bgp.collector import collect_rib, select_vantage_points
 from repro.bgp.policy import RouteClass
 from repro.bgp.propagation import PropagationEngine
@@ -62,6 +64,7 @@ def build_world(
     recruitment_config: RecruitmentConfig | None = None,
     jobs: int | None = None,
     shards: int | None = None,
+    runtime: RuntimeConfig | None = None,
 ) -> World:
     """Build a complete world.
 
@@ -69,18 +72,24 @@ def build_world(
     paper-shaped default (~10k ASes), small values (0.05–0.2) build
     test-sized worlds in well under a second.
 
-    ``jobs`` sets the worker count for the RIB-collection fan-out
-    (``None`` defers to the ``REPRO_JOBS`` environment variable; the
-    result is identical at any worker count).
+    ``runtime`` installs a :class:`repro.config.RuntimeConfig` for the
+    duration of the build, so every knob underneath (kernel mode, mmap,
+    shard/worker counts, path-cache sizing) honours the explicit object
+    instead of the environment.
 
-    ``shards`` (``None`` defers to ``REPRO_SHARDS``, else 1) shards the
-    three dominant stages across worker processes — RIB collection by
-    vantage-point chunk, ROV/IRR bulk validation by prefix range,
-    transit scoring by route-group chunk.  Workers emit column shards
-    merged in deterministic shard order, so the built world is
-    byte-identical at any shard count (DESIGN §13).
+    ``jobs`` sets the worker count for the RIB-collection fan-out
+    (``None`` defers to the runtime config, whose fallback is the
+    ``REPRO_JOBS`` environment variable; the result is identical at any
+    worker count).
+
+    ``shards`` (``None`` defers to the runtime config / ``REPRO_SHARDS``,
+    else 1) shards the three dominant stages across worker processes —
+    RIB collection by vantage-point chunk, ROV/IRR bulk validation by
+    prefix range, transit scoring by route-group chunk.  Workers emit
+    column shards merged in deterministic shard order, so the built world
+    is byte-identical at any shard count (DESIGN §13).
     """
-    with obs.gc_paused(freeze=True):
+    with _runtime_config.use(runtime), obs.gc_paused(freeze=True):
         return _build_world(
             scale,
             seed,

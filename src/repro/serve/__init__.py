@@ -1,0 +1,49 @@
+"""``repro.serve``: the measurement service (async HTTP query API).
+
+The batch pipeline answers questions by rebuilding; the MANRS
+Observatory and IHR — the paper's real-world counterparts — answer them
+*on demand*.  This package is that serving layer: a long-lived asyncio
+HTTP/1.1 server (stdlib only) exposing the experiment registry, sweep
+ledgers and rendered experiment payloads as JSON endpoints, backed by a
+content-addressed result cache with strong ETags, per-key request
+coalescing and a bounded background build queue over the sweep process
+pool.
+
+Endpoints::
+
+    GET /healthz                         liveness + queue stats
+    GET /metrics                         obs snapshot (counters, gauges)
+    GET /experiments                     registry table
+    GET /experiments/<name>?scale=&seed=&set=<dotted.path>=<val>
+    GET /sweeps                          sweep ledger manifests
+    GET /sweeps/<sweep_id>               one sweep's manifest + job states
+
+CLI: ``repro serve --host --port --cache-dir --workers``; see the
+README's "Serving" section and DESIGN §14 for the cache/coalescing/
+queue invariants.
+"""
+
+from __future__ import annotations
+
+from repro.serve.app import (
+    DEFAULT_BUILDERS,
+    DEFAULT_QUEUE_LIMIT,
+    SERVE_SCHEMA_VERSION,
+    ReproService,
+    result_key,
+    serve_forever,
+)
+from repro.serve.http import HttpError, Request, http_get, response_bytes
+
+__all__ = [
+    "DEFAULT_BUILDERS",
+    "DEFAULT_QUEUE_LIMIT",
+    "SERVE_SCHEMA_VERSION",
+    "HttpError",
+    "ReproService",
+    "Request",
+    "http_get",
+    "response_bytes",
+    "result_key",
+    "serve_forever",
+]

@@ -30,10 +30,10 @@ default shard count (1 = sharding off).
 from __future__ import annotations
 
 import logging
-import os
 from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Sequence, TypeVar
 
+from repro import config as _config
 from repro import obs
 
 __all__ = [
@@ -58,14 +58,11 @@ T = TypeVar("T")
 
 
 def resolve_shards(shards: int | None = None) -> int:
-    """Effective shard count: explicit argument, else ``REPRO_SHARDS``, else 1."""
+    """Effective shard count: explicit argument, else the active
+    :class:`repro.config.RuntimeConfig` (which falls back to
+    ``REPRO_SHARDS``), else 1."""
     if shards is None:
-        raw = os.environ.get(SHARDS_ENV, "").strip()
-        try:
-            shards = int(raw) if raw else 1
-        except ValueError:
-            log.warning("ignoring non-integer %s=%r", SHARDS_ENV, raw)
-            shards = 1
+        shards = _config.current().shards
     return max(1, shards)
 
 

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from repro.sweep.aggregate import aggregate, render_report, render_status
 from repro.sweep.ledger import RunLedger
-from repro.sweep.scheduler import SweepOutcome, run_sweep
+from repro.sweep.scheduler import SweepOutcome, run_sweep, worker_pool
 from repro.sweep.spec import (
     SWEEP_SCHEMA_VERSION,
     Job,
@@ -51,4 +51,5 @@ __all__ = [
     "render_status",
     "run_job",
     "run_sweep",
+    "worker_pool",
 ]

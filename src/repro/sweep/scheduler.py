@@ -38,12 +38,14 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable
 
+from repro import config as _config
 from repro import obs
+from repro.config import RuntimeConfig
 from repro.sweep.ledger import RunLedger
 from repro.sweep.spec import Job, SweepSpec
 from repro.sweep.worker import execute_job
 
-__all__ = ["SweepOutcome", "run_sweep"]
+__all__ = ["SweepOutcome", "run_sweep", "worker_pool"]
 
 #: Extra driver-side grace on top of twice the in-worker budget before
 #: the backstop declares a worker wedged and rebuilds the pool.
@@ -87,6 +89,7 @@ def run_sweep(
     ledger_root: str | Path,
     workers: int | None = None,
     progress: ProgressFn | None = None,
+    runtime: RuntimeConfig | None = None,
 ) -> SweepOutcome:
     """Run (or resume) a sweep; never raises for individual job failures.
 
@@ -94,35 +97,70 @@ def run_sweep(
     scheduled.  The returned outcome carries every available payload —
     including those of previous runs — so callers aggregate one object
     regardless of how many times the sweep was interrupted.
+
+    ``runtime`` installs a :class:`repro.config.RuntimeConfig` for the
+    driver *and* every pool worker (via a pool initializer), so an
+    explicit config governs warm-start stores, kernels and shard counts
+    end to end instead of relying on inherited environment variables.
     """
-    jobs = spec.expand()
-    workers = max(1, workers or spec.workers or obs.resolve_jobs())
-    say = progress or (lambda message: None)
-    started = time.perf_counter()
-    with obs.span(
-        "sweep.run", sweep=spec.name, jobs=len(jobs), workers=workers
-    ), RunLedger.open(ledger_root, spec, jobs) as ledger:
-        obs.gauge("sweep.workers", workers)
-        done_payloads = ledger.completed()
-        skipped = tuple(job.job_id for job in jobs if job.job_id in done_payloads)
-        if skipped:
-            obs.add("sweep.jobs.skipped", len(skipped))
-            say(f"resuming: {len(skipped)}/{len(jobs)} jobs already done")
-        pending = deque(
-            (job, 1) for job in jobs if job.job_id not in done_payloads
-        )
-        outcome = SweepOutcome(
-            sweep_id=spec.sweep_id,
-            ledger_dir=ledger.directory,
-            jobs=jobs,
-            results=dict(done_payloads),
-            skipped=skipped,
-        )
-        if pending:
-            with obs.span("sweep.schedule", pending=len(pending)):
-                _schedule(spec, pending, ledger, workers, outcome, say)
-    outcome.duration_seconds = time.perf_counter() - started
-    return outcome
+    with _config.use(runtime):
+        jobs = spec.expand()
+        workers = max(1, workers or spec.workers or obs.resolve_jobs())
+        say = progress or (lambda message: None)
+        started = time.perf_counter()
+        with obs.span(
+            "sweep.run", sweep=spec.name, jobs=len(jobs), workers=workers
+        ), RunLedger.open(ledger_root, spec, jobs) as ledger:
+            obs.gauge("sweep.workers", workers)
+            done_payloads = ledger.completed()
+            skipped = tuple(
+                job.job_id for job in jobs if job.job_id in done_payloads
+            )
+            if skipped:
+                obs.add("sweep.jobs.skipped", len(skipped))
+                say(f"resuming: {len(skipped)}/{len(jobs)} jobs already done")
+            pending = deque(
+                (job, 1) for job in jobs if job.job_id not in done_payloads
+            )
+            outcome = SweepOutcome(
+                sweep_id=spec.sweep_id,
+                ledger_dir=ledger.directory,
+                jobs=jobs,
+                results=dict(done_payloads),
+                skipped=skipped,
+            )
+            if pending:
+                with obs.span("sweep.schedule", pending=len(pending)):
+                    _schedule(
+                        spec, pending, ledger, workers, outcome, say, runtime
+                    )
+        outcome.duration_seconds = time.perf_counter() - started
+        return outcome
+
+
+def worker_pool(
+    workers: int,
+    runtime: RuntimeConfig | None = None,
+    mp_context=None,
+) -> ProcessPoolExecutor:
+    """A process pool whose workers install ``runtime`` at startup.
+
+    Shared by the sweep scheduler and the serve build queue, so both run
+    builds under the same explicit config the driver resolved (workers
+    inherit environment variables anyway; the initializer makes an
+    explicit ``runtime`` authoritative over them).  ``mp_context`` picks
+    the start method: the serve layer passes a ``spawn`` context so that
+    lazily-started workers never inherit open connection fds from the
+    event-loop process (a forked worker holding a duplicate client
+    socket would keep the connection from ever reaching EOF).
+    """
+    kwargs: dict = {"max_workers": workers}
+    if mp_context is not None:
+        kwargs["mp_context"] = mp_context
+    if runtime is not None:
+        kwargs["initializer"] = _config.set_current
+        kwargs["initargs"] = (runtime,)
+    return ProcessPoolExecutor(**kwargs)
 
 
 def _schedule(
@@ -132,12 +170,13 @@ def _schedule(
     workers: int,
     outcome: SweepOutcome,
     say: ProgressFn,
+    runtime: RuntimeConfig | None = None,
 ) -> None:
     total = len(outcome.jobs)
     backstop = (
         spec.timeout * 2 + BACKSTOP_GRACE_SECONDS if spec.timeout > 0 else None
     )
-    pool = ProcessPoolExecutor(max_workers=workers)
+    pool = worker_pool(workers, runtime)
     inflight: dict[Future, tuple[Job, int, float]] = {}
     try:
         while pending or inflight:
@@ -194,7 +233,7 @@ def _schedule(
             if broken or _backstop_tripped(inflight, backstop):
                 pool, fresh = _rebuild_pool(
                     pool, inflight, workers, spec, ledger,
-                    pending, outcome, say, total, broken,
+                    pending, outcome, say, total, broken, runtime,
                 )
                 inflight = fresh
     finally:
@@ -261,6 +300,7 @@ def _rebuild_pool(
     say: ProgressFn,
     total: int,
     broken: bool,
+    runtime: RuntimeConfig | None = None,
 ) -> tuple[ProcessPoolExecutor, dict]:
     """Tear down a broken/wedged pool; fail its in-flight attempts.
 
@@ -287,4 +327,4 @@ def _rebuild_pool(
     except Exception:  # noqa: BLE001 - best-effort cleanup
         pass
     pool.shutdown(wait=False, cancel_futures=True)
-    return ProcessPoolExecutor(max_workers=workers), {}
+    return worker_pool(workers, runtime), {}

@@ -1,0 +1,178 @@
+"""Tests for the benchmark ledger and the ``repro bench`` CLI verbs."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench import BenchLedger, compare_payloads
+from repro.cli import main
+
+
+def payload_for(label: str, end_to_end: float = 1.0) -> dict:
+    return {
+        "label": label,
+        "git_rev": "abc1234",
+        "benchmarks": {
+            "end_to_end": {"mean": end_to_end, "min": end_to_end, "rounds": 1}
+        },
+    }
+
+
+class TestBenchLedger:
+    def test_round_trip_and_ordering(self, tmp_path):
+        ledger = BenchLedger(tmp_path)
+        ledger.append("run", "a", payload=payload_for("a"))
+        ledger.append("run", "b", payload=payload_for("b"))
+        runs = ledger.runs()
+        assert list(runs) == ["a", "b"]
+        assert runs["a"]["payload"]["label"] == "a"
+
+    def test_rerecording_a_label_keeps_the_latest(self, tmp_path):
+        ledger = BenchLedger(tmp_path)
+        ledger.append("run", "a", payload=payload_for("a", 1.0))
+        ledger.append("run", "a", payload=payload_for("a", 2.0))
+        assert len(ledger.records()) == 2
+        assert ledger.runs()["a"]["payload"]["benchmarks"]["end_to_end"][
+            "mean"
+        ] == 2.0
+
+    def test_corrupt_lines_are_dropped(self, tmp_path):
+        ledger = BenchLedger(tmp_path)
+        ledger.append("run", "good", payload=payload_for("good"))
+        with ledger.path.open("a") as handle:
+            handle.write("not json at all\n")
+            record = json.loads(ledger.path.read_text().splitlines()[0])
+            record["label"] = "tampered"  # digest no longer matches
+            handle.write(json.dumps(record) + "\n")
+        assert [r["label"] for r in ledger.records()] == ["good"]
+
+    def test_baseline_marker_latest_wins(self, tmp_path):
+        ledger = BenchLedger(tmp_path)
+        assert ledger.baseline_label() is None
+        ledger.append("run", "a", payload=payload_for("a"))
+        ledger.append("run", "b", payload=payload_for("b"))
+        ledger.append("baseline", "a")
+        ledger.append("baseline", "b")
+        assert ledger.baseline_label() == "b"
+
+    def test_clean_keeps_most_recent_runs(self, tmp_path):
+        ledger = BenchLedger(tmp_path)
+        for label in ("a", "b", "c"):
+            ledger.append("run", label, payload=payload_for(label))
+        ledger.append("baseline", "a")
+        dropped = ledger.clean(keep=2)
+        assert dropped == ["a"]
+        assert list(ledger.runs()) == ["b", "c"]
+        # The baseline marker pointed at a dropped label and went with it.
+        assert ledger.baseline_label() is None
+        # Survivors still verify.
+        assert len(ledger.records()) == 2
+
+
+class TestComparePayloads:
+    def test_clean_comparison_passes(self):
+        assert compare_payloads(payload_for("x"), payload_for("y"), 0.25) == []
+
+    def test_slowdown_past_threshold_flags(self):
+        problems = compare_payloads(
+            payload_for("x", 2.0), payload_for("y", 1.0), 0.25
+        )
+        assert len(problems) == 1
+        assert "end_to_end" in problems[0]
+
+    def test_digest_drift_flags(self):
+        current = {
+            "benchmarks": {},
+            "scale_sweep": [
+                {"scale": 0.5, "seed": 7, "world_digest": "aaa",
+                 "digest_equal": True, "cold": {"seconds": 1.0}},
+            ],
+        }
+        baseline = {
+            "benchmarks": {},
+            "scale_sweep": [
+                {"scale": 0.5, "seed": 7, "world_digest": "bbb",
+                 "digest_equal": True, "cold": {"seconds": 1.0}},
+            ],
+        }
+        problems = compare_payloads(current, baseline, 0.25)
+        assert any("digest drifted" in p for p in problems)
+
+
+class TestBenchCli:
+    def ingest(self, tmp_path, label, seconds=1.0):
+        source = tmp_path / f"BENCH_{label}.json"
+        source.write_text(json.dumps(payload_for(label, seconds)))
+        return main(
+            [
+                "bench",
+                "run",
+                "--cache-dir",
+                str(tmp_path / "store"),
+                "--from-json",
+                str(source),
+            ]
+        )
+
+    def test_requires_a_store(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        assert main(["bench", "list"]) == 2
+        assert "no checkpoint store" in capsys.readouterr().err
+
+    def test_run_from_json_then_list(self, tmp_path, capsys):
+        assert self.ingest(tmp_path, "pr1") == 0
+        assert main(
+            ["bench", "list", "--cache-dir", str(tmp_path / "store")]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "pr1" in out and "abc1234" in out
+        ledger = BenchLedger(tmp_path / "store" / "bench")
+        assert list(ledger.runs()) == ["pr1"]
+
+    def test_baseline_and_compare_flow(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        self.ingest(tmp_path, "fast", seconds=1.0)
+        assert main(["bench", "baseline", "--cache-dir", store]) == 0
+        # A clean follow-up run compares fine...
+        self.ingest(tmp_path, "same", seconds=1.1)
+        assert main(["bench", "compare", "--cache-dir", store]) == 0
+        assert "ok" in capsys.readouterr().out
+        # ...a regressed one exits 3 and names the benchmark.
+        self.ingest(tmp_path, "slow", seconds=5.0)
+        assert main(["bench", "compare", "--cache-dir", store]) == 3
+        assert "end_to_end" in capsys.readouterr().err
+
+    def test_compare_without_baseline_is_an_error(self, tmp_path, capsys):
+        self.ingest(tmp_path, "pr1")
+        code = main(
+            ["bench", "compare", "--cache-dir", str(tmp_path / "store")]
+        )
+        assert code == 2
+        assert "no baseline" in capsys.readouterr().err
+
+    def test_clean_drops_old_runs(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        for label in ("one", "two", "three"):
+            self.ingest(tmp_path, label)
+        assert main(
+            ["bench", "clean", "--keep", "1", "--cache-dir", store]
+        ) == 0
+        assert "dropped 2" in capsys.readouterr().out
+        ledger = BenchLedger(tmp_path / "store" / "bench")
+        assert list(ledger.runs()) == ["three"]
+
+    def test_baseline_unknown_label_errors(self, tmp_path, capsys):
+        self.ingest(tmp_path, "pr1")
+        code = main(
+            [
+                "bench",
+                "baseline",
+                "missing",
+                "--cache-dir",
+                str(tmp_path / "store"),
+            ]
+        )
+        assert code == 2
+        assert "missing" in capsys.readouterr().err

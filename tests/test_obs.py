@@ -8,10 +8,16 @@ equivalence of the legacy ``repro.perf`` shim with the new layer.
 from __future__ import annotations
 
 import json
+import warnings
 
 import pytest
 
-from repro import obs, perf
+from repro import obs
+
+with warnings.catch_warnings():
+    # The shim's DeprecationWarning is itself under test below.
+    warnings.simplefilter("ignore", DeprecationWarning)
+    from repro import perf
 
 
 @pytest.fixture(autouse=True)
@@ -172,6 +178,12 @@ class TestExporters:
 
 
 class TestPerfShim:
+    def test_import_warns_deprecation(self):
+        import importlib
+
+        with pytest.warns(DeprecationWarning, match="repro.obs"):
+            importlib.reload(perf)
+
     def test_stage_is_span(self):
         with perf.stage("legacy.stage"):
             pass

@@ -18,7 +18,7 @@ from datetime import date
 import pytest
 
 import repro.bgp.collector as collector_mod
-from repro import perf
+from repro import obs
 from repro.bgp.collector import collect_rib, select_vantage_points
 from repro.bgp.policy import ASPolicy, RouteClass
 from repro.bgp.propagation import PropagationEngine, RouteKind
@@ -472,20 +472,20 @@ class TestHotHelpers:
 class TestGcPaused:
     def test_restores_enabled_state(self):
         assert gc.isenabled()
-        with perf.gc_paused():
+        with obs.gc_paused():
             assert not gc.isenabled()
         assert gc.isenabled()
 
     def test_restores_on_exception(self):
         with pytest.raises(RuntimeError):
-            with perf.gc_paused():
+            with obs.gc_paused():
                 raise RuntimeError("boom")
         assert gc.isenabled()
 
     def test_noop_when_already_disabled(self):
         gc.disable()
         try:
-            with perf.gc_paused():
+            with obs.gc_paused():
                 assert not gc.isenabled()
             assert not gc.isenabled()
         finally:

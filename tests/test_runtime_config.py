@@ -1,0 +1,240 @@
+"""Tests for the unified runtime configuration (repro.config).
+
+The contract under test: one frozen dataclass resolved with ``explicit
+> environment > default`` precedence, installable process-wide or for a
+``with`` block, consulted by every call-time reader the per-site env
+lookups used to own (kernel mode, mmap, world-load strategy, default
+store, jobs/shards resolution).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import config
+from repro.config import ENV_VARS, RuntimeConfig
+
+
+@pytest.fixture(autouse=True)
+def clean_runtime(monkeypatch):
+    """No installed config and no REPRO_* env leakage between tests."""
+    for var in ENV_VARS.values():
+        monkeypatch.delenv(var, raising=False)
+    config.set_current(None)
+    yield
+    config.set_current(None)
+
+
+class TestDefaults:
+    def test_empty_environment_is_the_historical_baseline(self):
+        runtime = RuntimeConfig.resolve(env={})
+        assert runtime == RuntimeConfig()
+        assert runtime.jobs == 1
+        assert runtime.shards == 1
+        assert runtime.kernels == "numpy"
+        assert runtime.mmap is True
+        assert runtime.world_load == "columnar"
+        assert runtime.cache_dir is None
+        assert runtime.world_cache_size == 4
+        assert runtime.paths_cache is None
+
+    def test_frozen_and_comparable(self):
+        runtime = RuntimeConfig()
+        with pytest.raises(AttributeError):
+            runtime.jobs = 2
+        assert RuntimeConfig(jobs=2) == RuntimeConfig(jobs=2)
+        assert RuntimeConfig(jobs=2) != RuntimeConfig(jobs=3)
+
+    def test_validation_rejects_bad_modes(self):
+        with pytest.raises(ValueError, match="kernel mode"):
+            RuntimeConfig(kernels="fortran")
+        with pytest.raises(ValueError, match="load mode"):
+            RuntimeConfig(world_load="sideways")
+        with pytest.raises(ValueError, match="world_cache_size"):
+            RuntimeConfig(world_cache_size=0)
+
+
+class TestFromEnv:
+    def test_reads_every_documented_variable(self):
+        env = {
+            "REPRO_JOBS": "4",
+            "REPRO_SHARDS": "8",
+            "REPRO_KERNELS": "python",
+            "REPRO_MMAP": "0",
+            "REPRO_WORLD_LOAD": "eager",
+            "REPRO_CACHE_DIR": "/tmp/store",
+            "REPRO_WORLD_CACHE_SIZE": "9",
+            "REPRO_PATHS_CACHE": "123",
+        }
+        runtime = RuntimeConfig.from_env(env)
+        assert runtime == RuntimeConfig(
+            jobs=4,
+            shards=8,
+            kernels="python",
+            mmap=False,
+            world_load="eager",
+            cache_dir="/tmp/store",
+            world_cache_size=9,
+            paths_cache=123,
+        )
+
+    def test_malformed_values_fall_back_leniently(self):
+        env = {
+            "REPRO_JOBS": "many",
+            "REPRO_SHARDS": "several",
+            "REPRO_WORLD_LOAD": "sideways",
+            "REPRO_WORLD_CACHE_SIZE": "-3",
+            "REPRO_PATHS_CACHE": "big",
+        }
+        assert RuntimeConfig.from_env(env) == RuntimeConfig()
+
+    def test_bad_kernels_value_raises(self):
+        # The one deliberate exception to lenient parsing: a kernel-mode
+        # typo must not silently change which implementation ran.
+        with pytest.raises(ValueError, match="REPRO_KERNELS"):
+            RuntimeConfig.from_env({"REPRO_KERNELS": "fortran"})
+
+    def test_mmap_falsey_spellings(self):
+        for raw in ("0", "false", "off", "no", "FALSE", "Off"):
+            assert RuntimeConfig.from_env({"REPRO_MMAP": raw}).mmap is False
+        for raw in ("1", "true", "yes", "on"):
+            assert RuntimeConfig.from_env({"REPRO_MMAP": raw}).mmap is True
+
+
+class TestResolvePrecedence:
+    def test_explicit_beats_env_beats_default(self):
+        env = {"REPRO_JOBS": "4", "REPRO_SHARDS": "8"}
+        runtime = RuntimeConfig.resolve(env=env, jobs=2)
+        assert runtime.jobs == 2  # explicit wins
+        assert runtime.shards == 8  # env fills the unspecified
+        assert runtime.kernels == "numpy"  # default fills the rest
+
+    def test_none_override_means_unspecified(self):
+        env = {"REPRO_JOBS": "4"}
+        assert RuntimeConfig.resolve(env=env, jobs=None).jobs == 4
+
+    def test_unknown_field_is_a_type_error(self):
+        with pytest.raises(TypeError, match="workers"):
+            RuntimeConfig.resolve(env={}, workers=4)
+
+    def test_merged_applies_non_none_on_top(self):
+        base = RuntimeConfig(jobs=2, shards=4)
+        merged = base.merged(jobs=None, shards=8)
+        assert merged == RuntimeConfig(jobs=2, shards=8)
+        assert base.merged() is base
+
+    def test_effective_jobs_zero_means_all_cores(self):
+        import os
+
+        assert RuntimeConfig(jobs=0).effective_jobs() == (os.cpu_count() or 1)
+        assert RuntimeConfig(jobs=3).effective_jobs() == 3
+
+
+class TestActiveConfig:
+    def test_current_reads_env_at_call_time_when_uninstalled(self, monkeypatch):
+        assert config.current().kernels == "numpy"
+        monkeypatch.setenv("REPRO_KERNELS", "python")
+        assert config.current().kernels == "python"
+
+    def test_set_current_overrides_the_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "7")
+        config.set_current(RuntimeConfig(jobs=2))
+        assert config.current().jobs == 2
+        config.set_current(None)
+        assert config.current().jobs == 7
+
+    def test_use_nests_and_restores(self):
+        outer = RuntimeConfig(jobs=2)
+        inner = RuntimeConfig(jobs=3)
+        with config.use(outer):
+            assert config.current() is outer
+            with config.use(inner):
+                assert config.current() is inner
+            assert config.current() is outer
+        assert config.current() == RuntimeConfig.from_env()
+
+    def test_use_none_is_a_no_op(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "5")
+        with config.use(None):
+            assert config.current().jobs == 5
+
+    def test_use_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with config.use(RuntimeConfig(jobs=9)):
+                raise RuntimeError("boom")
+        assert config.current().jobs == 1
+
+
+class TestCallTimeReaders:
+    """The leaf readers the config replaced all consult ``current()``."""
+
+    def test_resolve_jobs_honours_installed_config(self):
+        from repro.obs import resolve_jobs
+
+        with config.use(RuntimeConfig(jobs=6)):
+            assert resolve_jobs() == 6
+            assert resolve_jobs(2) == 2  # explicit argument still wins
+
+    def test_kernel_mode_honours_installed_config(self):
+        from repro.kernels import kernel_mode
+
+        with config.use(RuntimeConfig(kernels="python")):
+            assert kernel_mode() == "python"
+
+    def test_mmap_and_world_load_honour_installed_config(self):
+        from repro.datasets.arraystore import mmap_enabled
+        from repro.datasets.checkpoint import world_load_mode
+
+        with config.use(RuntimeConfig(mmap=False, world_load="eager")):
+            assert mmap_enabled() is False
+            assert world_load_mode() == "eager"
+
+    def test_default_store_honours_installed_config(self, tmp_path):
+        from repro.datasets.checkpoint import default_store
+
+        assert default_store() is None
+        with config.use(RuntimeConfig(cache_dir=str(tmp_path))):
+            store = default_store()
+            assert store is not None
+            assert store.root == tmp_path
+
+    def test_picklable_for_pool_initializers(self):
+        import pickle
+
+        runtime = RuntimeConfig(jobs=3, kernels="python")
+        assert pickle.loads(pickle.dumps(runtime)) == runtime
+
+
+class TestRuntimeParameter:
+    """``runtime=`` on an entry point governs the whole call."""
+
+    def test_build_world_runtime_controls_kernel_mode(self):
+        from repro.scenario.build import build_world
+
+        python_world = build_world(
+            scale=0.03, seed=5, runtime=RuntimeConfig(kernels="python")
+        )
+        numpy_world = build_world(
+            scale=0.03, seed=5, runtime=RuntimeConfig(kernels="numpy")
+        )
+        from repro.datasets.checkpoint import world_digest
+
+        assert world_digest(python_world) == world_digest(numpy_world)
+
+    def test_explicit_runtime_beats_environment(self, monkeypatch):
+        from repro.kernels import kernel_mode
+        from repro.scenario import build as build_mod
+
+        monkeypatch.setenv("REPRO_KERNELS", "python")
+        seen: dict[str, str] = {}
+        original = build_mod._build_world
+
+        def spy(*args, **kwargs):
+            seen["mode"] = kernel_mode()
+            return original(*args, **kwargs)
+
+        monkeypatch.setattr(build_mod, "_build_world", spy)
+        build_mod.build_world(
+            scale=0.02, seed=1, runtime=RuntimeConfig(kernels="numpy")
+        )
+        assert seen["mode"] == "numpy"
