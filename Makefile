@@ -10,7 +10,7 @@ SCALE ?= 1.0
 LABEL ?= local
 SMOKE_BUDGET ?= 120
 
-.PHONY: test lint bench bench-pytest bench-smoke bench-compare profile smoke-profile trace-smoke sweep-smoke scale-smoke serve-smoke
+.PHONY: test lint bench bench-pytest bench-smoke bench-compare profile smoke-profile trace-smoke sweep-smoke scale-smoke serve-smoke delta-smoke
 
 ## Tier-1 test suite (unit + integration + equivalence).
 test:
@@ -73,6 +73,12 @@ smoke-profile:
 ## liveness -> cold build -> warm hit -> 304 -> metrics -> SIGINT.
 serve-smoke:
 	$(PYTHON) scripts/check_serve.py
+
+## Delta smoke: `repro replay` in a subprocess — a short synthetic event
+## trace applied incrementally must digest-equal cold rebuilds at three
+## instants (the replay==rebuild invariant, end to end).
+delta-smoke:
+	$(PYTHON) scripts/check_delta.py
 
 ## Sweep orchestrator smoke: run -> resume -> report on the example
 ## grid, against a throwaway cache/ledger directory.

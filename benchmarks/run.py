@@ -15,6 +15,7 @@ Usage::
     PYTHONPATH=src python benchmarks/run.py --experiments          # + registry
     PYTHONPATH=src python benchmarks/run.py --kernels              # + per-kernel
     PYTHONPATH=src python benchmarks/run.py --sweep                # + orchestrator
+    PYTHONPATH=src python benchmarks/run.py --delta                # + event replay
     PYTHONPATH=src python benchmarks/run.py --scale-sweep 0.5 1 2  # + per-scale
     PYTHONPATH=src python benchmarks/run.py --compare BASELINE.json
 
@@ -318,6 +319,73 @@ def run_sweep_bench(sweep_scale: float, max_workers: int) -> dict:
     print(
         f"sweep: {max_workers}-worker speedup {result['speedup']:.2f}x "
         f"on {cores} core(s)",
+        file=sys.stderr,
+    )
+    return result
+
+
+def run_delta_bench(
+    scale: float, seed: int, events: int, event_seed: int
+) -> dict:
+    """Per-event incremental apply vs one cold rebuild of the same stream.
+
+    Synthesizes ``events`` applicable events, times each
+    :meth:`repro.delta.LiveWorld.apply` plus the final materialisation,
+    then rebuilds the whole derived state cold from the same event list
+    and checks the two worlds are digest-identical.  The headline number
+    is ``speedup_apply`` — how many incremental applies fit in one cold
+    rebuild — which is what makes event-stream replay viable at all.
+    """
+    from repro.datasets.checkpoint import world_digest
+    from repro.delta import LiveWorld, cold_rebuild, synthesize_events
+
+    world = build_world(scale=scale, seed=seed)
+    stream = synthesize_events(world, n=events, seed=event_seed)
+    live = LiveWorld(world)
+    apply_samples: list[float] = []
+    by_domain: dict[str, list[float]] = {}
+    for event in stream:
+        start = time.perf_counter()
+        domain = live.apply(event)
+        elapsed = time.perf_counter() - start
+        apply_samples.append(elapsed)
+        by_domain.setdefault(domain, []).append(elapsed)
+    start = time.perf_counter()
+    incremental = live.world()
+    materialise_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    rebuilt = cold_rebuild(world, stream)
+    cold_seconds = time.perf_counter() - start
+    digest_equal = world_digest(incremental) == world_digest(rebuilt)
+    mean_apply = statistics.fmean(apply_samples)
+    result = {
+        "scale": scale,
+        "seed": seed,
+        "event_seed": event_seed,
+        "events": len(apply_samples),
+        "apply": {
+            **percentiles(apply_samples),
+            "mean_ms": round(mean_apply * 1000, 3),
+            "max_ms": round(max(apply_samples) * 1000, 3),
+        },
+        "by_domain": {
+            domain: percentiles(samples)
+            for domain, samples in sorted(by_domain.items())
+        },
+        "materialise_seconds": materialise_seconds,
+        "cold_rebuild_seconds": cold_seconds,
+        # Cold rebuilds amortise over the whole stream; incremental pays
+        # per event.  This is the per-event advantage.
+        "speedup_apply": cold_seconds / mean_apply,
+        "digest_equal": digest_equal,
+    }
+    print(
+        f"delta: {len(apply_samples)} events, apply p50="
+        f"{result['apply']['p50_ms']:.1f}ms mean={mean_apply * 1000:.1f}ms, "
+        f"materialise={materialise_seconds:.3f}s "
+        f"cold={cold_seconds:.3f}s "
+        f"speedup_apply={result['speedup_apply']:.1f}x "
+        f"digest_equal={digest_equal}",
         file=sys.stderr,
     )
     return result
@@ -735,6 +803,29 @@ def main(argv: list[str] | None = None) -> int:
         help="hot-cache requests per serve phase (default: 200)",
     )
     parser.add_argument(
+        "--delta",
+        action="store_true",
+        help="also benchmark per-event incremental apply vs cold rebuild",
+    )
+    parser.add_argument(
+        "--delta-scale",
+        type=float,
+        default=0.12,
+        help="world scale for the delta benchmark (default: 0.12)",
+    )
+    parser.add_argument(
+        "--delta-events",
+        type=int,
+        default=60,
+        help="synthetic events in the delta benchmark stream (default: 60)",
+    )
+    parser.add_argument(
+        "--delta-event-seed",
+        type=int,
+        default=0,
+        help="RNG seed for the delta benchmark event stream (default: 0)",
+    )
+    parser.add_argument(
         "--no-warm-start",
         action="store_true",
         help="skip the checkpoint cold-vs-warm comparison",
@@ -796,6 +887,16 @@ def main(argv: list[str] | None = None) -> int:
         if args.kernels
         else None
     )
+    delta = (
+        run_delta_bench(
+            args.delta_scale,
+            args.seed,
+            args.delta_events,
+            args.delta_event_seed,
+        )
+        if args.delta
+        else None
+    )
     payload = {
         "label": args.label,
         "scale": scale,
@@ -822,6 +923,8 @@ def main(argv: list[str] | None = None) -> int:
         payload["kernels"] = kernel_benchmarks
     if sweep is not None:
         payload["sweep"] = sweep
+    if delta is not None:
+        payload["delta"] = delta
     if serve is not None:
         payload["serve"] = serve
     out_path = args.output_dir / f"BENCH_{args.label}.json"

@@ -34,6 +34,17 @@ GOLDENS_PATH = (
     / "world_digests.json"
 )
 
+REPLAY_GOLDENS_PATH = GOLDENS_PATH.parent / "replay_digests.json"
+
+#: The replayed-instant pin: synthetic events applied to the
+#: ``small_world`` point through the live world, digested mid-stream and
+#: at the end.  (scale, seed) must match the first DEFAULT_POINTS entry
+#: so tests/test_delta.py can reuse the session fixture.
+REPLAY_SCALE, REPLAY_SEED = 0.12, 11
+REPLAY_EVENT_SEED = 5
+REPLAY_EVENTS = 6
+REPLAY_CHECKPOINTS = (3, 6)
+
 #: (scale, seed) points pinned by the suite.  The first matches the
 #: session-scoped ``small_world`` test fixture so the golden check reuses
 #: the already-built world instead of building a third one; the 0.5
@@ -49,6 +60,34 @@ def golden_entry(scale: float, seed: int) -> dict:
         "seed": seed,
         "world_digest": world_digest(world),
         "datasets": dataset_digests(world),
+    }
+
+
+def replay_entry() -> dict:
+    """Digest the live world at fixed instants along a synthetic stream."""
+    from repro.delta import LiveWorld, synthesize_events
+
+    world = build_world(scale=REPLAY_SCALE, seed=REPLAY_SEED)
+    events = synthesize_events(
+        world, n=REPLAY_EVENTS, seed=REPLAY_EVENT_SEED
+    )
+    live = LiveWorld(world)
+    checkpoints = []
+    for applied, event in enumerate(events, start=1):
+        live.apply(event)
+        if applied in REPLAY_CHECKPOINTS:
+            checkpoints.append(
+                {
+                    "applied": applied,
+                    "world_digest": world_digest(live.world()),
+                }
+            )
+    return {
+        "scale": REPLAY_SCALE,
+        "seed": REPLAY_SEED,
+        "event_seed": REPLAY_EVENT_SEED,
+        "events": REPLAY_EVENTS,
+        "checkpoints": checkpoints,
     }
 
 
@@ -83,6 +122,23 @@ def main(argv: list[str] | None = None) -> int:
             f"world={entry['world_digest'][:16]}"
         )
     print(f"wrote {len(payload['entries'])} entries to {GOLDENS_PATH}")
+    replay = {
+        "comment": (
+            "Replayed-instant world digests (event replay through "
+            "repro.delta.LiveWorld); regenerate with "
+            "scripts/update_goldens.py and justify drift in the commit."
+        ),
+        "entry": replay_entry(),
+    }
+    REPLAY_GOLDENS_PATH.write_text(
+        json.dumps(replay, indent=1, sort_keys=True) + "\n"
+    )
+    for point in replay["entry"]["checkpoints"]:
+        print(
+            f"replay applied={point['applied']} "
+            f"world={point['world_digest'][:16]}"
+        )
+    print(f"wrote replay golden to {REPLAY_GOLDENS_PATH}")
     return 0
 
 

@@ -13,6 +13,7 @@ Verbs (``repro bench ...``)::
     list      print the recorded runs, newest last, baseline starred
     baseline  mark a recorded run as the comparison baseline
     compare   diff a run against the baseline (exit 3 on regression)
+    trend     per-metric best-of-run series across the recorded runs
     clean     drop all but the N most recent runs
 
 :func:`compare_payloads` is the regression gate shared with
@@ -322,6 +323,61 @@ def _bench_compare(args, ledger: BenchLedger) -> int:
     return 0
 
 
+def _bench_trend(args, ledger: BenchLedger) -> int:
+    """Per-metric series over the ledger: how each benchmark moved.
+
+    One row per benchmark name, one column per recorded run (oldest to
+    newest), cells are best-of-rounds seconds.  Exit 2 when there is
+    nothing to trend (no store, no verified runs) so CI wiring can tell
+    "empty" from "regressed".
+    """
+    runs = ledger.runs()
+    if args.last is not None and args.last > 0:
+        runs = dict(list(runs.items())[-args.last:])
+    if not runs:
+        print("repro bench: no recorded runs to trend", file=sys.stderr)
+        return 2
+    series: dict[str, dict[str, float | None]] = {}
+    for label, record in runs.items():
+        payload = record.get("payload") or {}
+        for name, stats in payload.get("benchmarks", {}).items():
+            best = stats.get("min", stats.get("mean"))
+            series.setdefault(name, {})[label] = best
+    if not series:
+        print(
+            "repro bench: recorded runs carry no benchmark metrics",
+            file=sys.stderr,
+        )
+        return 2
+    labels = list(runs)
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "labels": labels,
+                    "metrics": {
+                        name: [points.get(label) for label in labels]
+                        for name, points in sorted(series.items())
+                    },
+                },
+                indent=2,
+            )
+        )
+        return 0
+    width = max(len(name) for name in series)
+    header = f"{'benchmark':<{width}}  " + "  ".join(
+        f"{label:>12}" for label in labels
+    )
+    print(header)
+    for name, points in sorted(series.items()):
+        cells = []
+        for label in labels:
+            best = points.get(label)
+            cells.append(f"{best:>11.3f}s" if best is not None else f"{'-':>12}")
+        print(f"{name:<{width}}  " + "  ".join(cells))
+    return 0
+
+
 def _bench_clean(args, ledger: BenchLedger) -> int:
     dropped = ledger.clean(args.keep)
     print(f"dropped {len(dropped)} run(s)" + (": " + ", ".join(dropped) if dropped else ""))
@@ -341,6 +397,8 @@ def main(args) -> int:
         return _bench_baseline(args, ledger)
     if args.bench_command == "compare":
         return _bench_compare(args, ledger)
+    if args.bench_command == "trend":
+        return _bench_trend(args, ledger)
     if args.bench_command == "clean":
         return _bench_clean(args, ledger)
     raise AssertionError(f"unknown bench command {args.bench_command!r}")

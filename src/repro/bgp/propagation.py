@@ -308,6 +308,52 @@ class PropagationEngine:
         """Drop all memoised propagation results."""
         self._paths_cache.clear()
 
+    def adopt_cache(self, other: "PropagationEngine") -> int:
+        """Carry memoised paths over from another engine where sound.
+
+        Cached entries transfer for route classes whose effective-filter
+        signatures are identical in both engines: propagation is a pure
+        function of (topology, class filters), so over the *same*
+        topology an identical signature guarantees identical paths.  The
+        caller is responsible for only pairing engines that share a
+        topology (the delta layer uses this after a policy flip, where
+        the topology is untouched and typically half the route classes
+        keep their signatures).  Returns the number of entries adopted.
+        """
+        classes = [
+            RouteClass(rpki_invalid=rpki, irr_invalid=irr)
+            for rpki in (False, True)
+            for irr in (False, True)
+        ]
+        mine = {
+            self.class_filters(rc).signature: self.signature_id(rc)
+            for rc in classes
+        }
+        id_map = {}
+        for rc in classes:
+            signature = other.class_filters(rc).signature
+            my_id = mine.get(signature)
+            if my_id is not None:
+                id_map[other.signature_id(rc)] = my_id
+        if not id_map:
+            return 0
+        self.ensure_cache_capacity(len(other._paths_cache))
+        cache = self._paths_cache
+        adopted = 0
+        for (origin, sig_id, vantage_points), paths in other._paths_cache.items():
+            my_id = id_map.get(sig_id)
+            if my_id is None:
+                continue
+            key = (origin, my_id, vantage_points)
+            if key not in cache:
+                cache[key] = paths
+                adopted += 1
+        while len(cache) > self._paths_cache_size:
+            cache.popitem(last=False)
+            self._cache_evictions += 1
+        obs.add("propagation.cache_adopted", adopted)
+        return adopted
+
     # -- public API ---------------------------------------------------------
 
     def propagate(

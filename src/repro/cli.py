@@ -11,8 +11,10 @@ Commands::
     cache      manage the checkpoint store (list, verify, prune, warm)
     sweep      orchestrate job grids (run, resume, status, report, list)
     serve      run the measurement service (async HTTP query API)
+    replay     replay a synthetic event stream through the live world and
+               verify each checkpoint digest-equals a cold rebuild
     bench      manage the benchmark ledger (run, list, baseline, compare,
-               clean)
+               trend, clean)
 
 ``repro reproduce --list`` and ``repro sweep list`` print the
 experiment registry table (name, title, paper ref) without building a
@@ -227,9 +229,31 @@ def build_parser() -> argparse.ArgumentParser:
         "--builders", type=int, default=None,
         help="concurrent queue drains (default: 2)",
     )
+    replay = sub.add_parser(
+        "replay", parents=[common],
+        help="replay a synthetic event stream and verify checkpoint digests",
+    )
+    replay.add_argument(
+        "--events", type=int, default=12,
+        help="number of events to synthesize and apply (default: 12)",
+    )
+    replay.add_argument(
+        "--event-seed", type=int, default=0,
+        help="seed for the synthetic event stream (default: 0)",
+    )
+    replay.add_argument(
+        "--checkpoints", type=int, default=3,
+        help="instants to digest along the stream (default: 3)",
+    )
+    replay.add_argument(
+        "--verify", action=argparse.BooleanOptionalAction, default=True,
+        help="cold-rebuild at each checkpoint and compare digests "
+             "(--no-verify prints live digests only)",
+    )
     bench = sub.add_parser(
         "bench", parents=[common],
-        help="manage the benchmark ledger (run, list, baseline, compare, clean)",
+        help="manage the benchmark ledger (run, list, baseline, compare, "
+             "trend, clean)",
     )
     bench_sub = bench.add_subparsers(dest="bench_command", required=True)
     bench_run = bench_sub.add_parser(
@@ -265,6 +289,17 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument(
         "--threshold", type=float, default=0.25,
         help="regression threshold as a fraction (default: 0.25)",
+    )
+    trend = bench_sub.add_parser(
+        "trend", parents=[common],
+        help="per-metric series across recorded runs (oldest to newest)",
+    )
+    trend.add_argument(
+        "--json", action="store_true", help="emit the trend as JSON"
+    )
+    trend.add_argument(
+        "--last", type=int, default=None, metavar="N",
+        help="restrict to the N most recent runs (default: all)",
     )
     clean = bench_sub.add_parser(
         "clean", parents=[common], help="drop old benchmark records"
@@ -317,6 +352,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _serve(args)
     if args.command == "bench":
         return _bench(args)
+    if args.command == "replay":
+        return _replay(args)
     if args.command == "reproduce":
         if args.list:
             print(registry_table())
@@ -412,6 +449,65 @@ def _bench(args: argparse.Namespace) -> int:
     from repro import bench
 
     return bench.main(args)
+
+
+def _replay(args: argparse.Namespace) -> int:
+    """Apply a synthetic event stream and digest the live world along it.
+
+    With ``--verify`` (the default) every checkpoint is also rebuilt cold
+    from the base world plus the applied prefix of the stream, and the
+    two digests compared — the replay==rebuild invariant as a CLI
+    one-liner.  Exits 1 on any mismatch.
+    """
+    from repro.datasets.checkpoint import world_digest
+    from repro.delta import LiveWorld, cold_rebuild, synthesize_events
+
+    if args.events < 1:
+        print("--events must be positive", file=sys.stderr)
+        return 2
+    with obs.span(
+        "cli.replay",
+        scale=args.scale,
+        seed=args.seed,
+        events=args.events,
+    ):
+        world = _obtain_world(args)
+        events = synthesize_events(
+            world, n=args.events, seed=args.event_seed
+        )
+        live = LiveWorld(world)
+        n_checkpoints = max(1, min(args.checkpoints, args.events))
+        marks = sorted(
+            {
+                max(1, round((i + 1) * args.events / n_checkpoints))
+                for i in range(n_checkpoints)
+            }
+        )
+        failures = 0
+        applied = 0
+        for mark in marks:
+            while applied < mark:
+                live.apply(events[applied])
+                applied += 1
+            digest = world_digest(live.world())
+            if args.verify:
+                reference = world_digest(
+                    cold_rebuild(world, events[:applied])
+                )
+                if digest == reference:
+                    print(f"checkpoint {applied:>4}  {digest[:16]}  ok")
+                else:
+                    failures += 1
+                    print(
+                        f"checkpoint {applied:>4}  {digest[:16]}  "
+                        f"MISMATCH (rebuild {reference[:16]})"
+                    )
+            else:
+                print(f"checkpoint {applied:>4}  {digest[:16]}  ok")
+    verdict = "all equal" if not failures else f"{failures} mismatched"
+    mode = "replay==rebuild" if args.verify else "replay digests only"
+    print(f"-- {applied} events, {len(marks)} checkpoints, {mode}: {verdict}")
+    return 1 if failures else 0
 
 
 def _sweep(args: argparse.Namespace) -> int:

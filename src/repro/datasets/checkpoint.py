@@ -1477,8 +1477,18 @@ class CheckpointStore:
         obs.add("checkpoint.year_saved")
         return path
 
-    def load_year_vrps(self, key: str, year: int) -> list[VRP] | None:
-        """One stored year-end VRP snapshot, or None (never raises)."""
+    def load_year_vrps(
+        self, key: str, year: int, strict: bool = False
+    ) -> list[VRP] | None:
+        """One stored year-end VRP snapshot, or None when absent.
+
+        A snapshot that is present but fails its sidecar digest (or does
+        not parse) is discarded either way; with ``strict=False`` that is
+        silently folded into the absent case, with ``strict=True`` a
+        :class:`CheckpointError` is raised after cleanup so callers can
+        tell "never saved" apart from "saved but corrupt" (the timeline
+        counts the latter separately).
+        """
         path = self.year_path(key, year)
         sidecar = path.with_suffix(".csv.sha256")
         if not path.is_file() or not sidecar.is_file():
@@ -1495,6 +1505,10 @@ class CheckpointStore:
             obs.add("checkpoint.corrupt")
             path.unlink(missing_ok=True)
             sidecar.unlink(missing_ok=True)
+            if strict:
+                raise CheckpointError(
+                    f"corrupt year snapshot for {key} year {year}: {error}"
+                ) from error
             return None
 
     # -- maintenance (the `repro cache` subcommand) -------------------------

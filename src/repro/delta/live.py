@@ -1,0 +1,446 @@
+"""The live world: incremental recomputation under an event stream.
+
+:class:`LiveWorld` wraps a built :class:`~repro.scenario.world.World`
+and applies :mod:`repro.delta.events` one at a time, re-deriving only
+what each event can affect:
+
+* **RPKI events** re-run the (plan-cached) relying party, diff the VRP
+  multiset, and re-validate only the routes the changed prefixes cover
+  (:class:`~repro.delta.cover.RouteCoverIndex`); verdict memos for
+  everything outside the cover set carry over via ``seed_from``.
+* **IRR events** re-validate the cover set of the edited object's
+  prefix, seeding the registry memo with the carried verdicts first.
+* **Membership events** touch nothing derived (the participants dataset
+  serialises straight from the registry).
+* **Topology events** rebuild the propagation engine (structure
+  changed; no cached path is sound) and mark size classes stale.
+* **Policy flips** rebuild the engine against the new policy table but
+  adopt every cached path whose effective-filter signature is unchanged
+  (:meth:`~repro.bgp.propagation.PropagationEngine.adopt_cache`).
+
+Verdict changes *regroup* routes among (origin, route class) buckets;
+:meth:`LiveWorld.world` then materialises a full ``World`` by replaying
+exactly the builder's collection and IHR derivation over the current
+buckets — propagation comes from the (mostly warm) engine memo and
+transit scoring from a per-group cache keyed on everything a group's
+hegemony depends on.  The result must digest-equal
+:func:`~repro.delta.rebuild.cold_rebuild` of the same events — the
+replay==rebuild invariant pinned by ``tests/test_delta.py`` and the
+``make delta-smoke`` gate.
+"""
+
+from __future__ import annotations
+
+from datetime import date
+
+from repro import kernels, obs
+from repro.bgp.collector import RibSnapshot, RouteGroup
+from repro.bgp.policy import RouteClass
+from repro.bgp.propagation import PropagationEngine
+from repro.bgp.table import Prefix2AS
+from repro.delta.cover import RouteCoverIndex, vrp_churn, vrp_delta
+from repro.delta.events import DeltaState, Event, apply_raw
+from repro.delta.rebuild import recompute_world, route_table
+from repro.ihr.pipeline import transit_groups_indexed
+from repro.ihr.records import IHRDataset, PrefixOriginRecord, TransitGroup
+from repro.irr.validation import IRRStatus, seed_memo, validate_irr_many
+from repro.net.prefix import Prefix
+from repro.rpki.rov import ROVValidator
+from repro.rpki.validator import IncrementalRelyingParty
+from repro.scenario.world import World
+from repro.topology.classify import classify_all
+
+__all__ = ["LiveWorld", "run_job_at"]
+
+#: The four route classes a bucket key can carry.
+_ALL_CLASSES = tuple(
+    RouteClass(rpki_invalid=rpki, irr_invalid=irr)
+    for rpki in (False, True)
+    for irr in (False, True)
+)
+
+
+class LiveWorld:
+    """A world plus an event cursor, materialisable at any instant."""
+
+    def __init__(self, base: World):
+        self._base = base
+        self._state = DeltaState.from_world(base)
+        self._date: date = base.config.snapshot_date
+        self._rp = IncrementalRelyingParty(self._state.repository)
+        # The base validator is reused as-is until the first RPKI event:
+        # its VRP set is exactly what the relying party emits for the
+        # unmutated repository, and its memo is warm from the build.
+        self._rov: ROVValidator = base.rov
+        self._routes = route_table(base)
+        self._cover = RouteCoverIndex(self._routes)
+        with obs.span("delta.init", routes=len(self._routes)):
+            self._rpki_status = dict(base.rov.validate_many(self._routes))
+            irr_status = validate_irr_many(base.irr, self._routes)
+            self._irr_status = dict(irr_status)
+            # The cloned registry starts with an empty (version-fresh)
+            # memo; seed it so the first IRR event only walks its cover
+            # set instead of the whole table.
+            seed_memo(self._state.irr, irr_status)
+        self._groups: dict[tuple[int, RouteClass], set[Prefix]] = {}
+        for prefix, asn in self._routes:
+            self._groups.setdefault(
+                (asn, self._route_class(prefix, asn)), set()
+            ).add(prefix)
+        self._engine: PropagationEngine = base.engine
+        self._topo_version = 0
+        # Interned effective-filter signatures, surviving engine
+        # rebuilds: the transit cache keys on them so a policy flip only
+        # invalidates the route classes whose filters actually changed.
+        self._signature_ids: dict[tuple, int] = {}
+        self._transit_cache: dict[tuple, TransitGroup | None] = {}
+        self._events_applied = 0
+        self._cached_world: World | None = base
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    @property
+    def base(self) -> World:
+        """The world this live view started from."""
+        return self._base
+
+    @property
+    def events_applied(self) -> int:
+        """Number of events applied so far."""
+        return self._events_applied
+
+    @property
+    def current_date(self) -> date:
+        """The instant the live world currently answers for."""
+        return self._date
+
+    def _route_class(self, prefix: Prefix, asn: int) -> RouteClass:
+        return RouteClass(
+            rpki_invalid=self._rpki_status[(prefix, asn)].is_invalid,
+            irr_invalid=self._irr_status[(prefix, asn)]
+            is IRRStatus.INVALID_ORIGIN,
+        )
+
+    def _signature_id(self, engine: PropagationEngine, rc: RouteClass) -> int:
+        signature = engine.class_filters(rc).signature
+        sig_id = self._signature_ids.get(signature)
+        if sig_id is None:
+            sig_id = len(self._signature_ids)
+            self._signature_ids[signature] = sig_id
+        return sig_id
+
+    # -- event application ---------------------------------------------------
+
+    def apply(self, event: Event) -> str:
+        """Apply one event and incrementally update derived state.
+
+        Returns the domain tag (``rpki``/``irr``/``manrs``/``topology``/
+        ``policy``) the event landed in, so callers can attribute cost.
+        """
+        with obs.span("delta.apply", event=type(event).__name__):
+            domain = apply_raw(self._state, event)
+            if domain == "rpki":
+                self._refresh_vrps()
+            elif domain == "irr":
+                self._reclassify_irr(event.route.prefix)
+            elif domain == "topology":
+                self._rebuild_engine(adopt=False)
+                self._topo_version += 1
+            elif domain == "policy":
+                self._rebuild_engine(adopt=True)
+            # "manrs" events only touch the participants dataset, which
+            # serialises straight from the (already mutated) registry.
+            self._events_applied += 1
+            self._cached_world = None
+            obs.add("delta.events_applied")
+            obs.add(f"delta.events.{domain}")
+            return domain
+
+    def advance_to(self, as_of: date) -> None:
+        """Move the observation instant (ROA validity windows shift)."""
+        if as_of == self._date:
+            return
+        with obs.span("delta.advance", to=as_of.isoformat()):
+            self._date = as_of
+            self._refresh_vrps(refresh_plans=False)
+            self._cached_world = None
+
+    def _refresh_vrps(self, refresh_plans: bool = True) -> None:
+        if refresh_plans:
+            # The incremental RP's staleness fingerprint only tracks
+            # object counts; event streams can remove+add without
+            # changing them, so invalidate explicitly.
+            self._rp.refresh()
+        report = self._rp.validate(self._date)
+        old_vrps = self._rov._vrps  # noqa: SLF001 - same-package coupling
+        changed = vrp_delta(old_vrps, report.vrps)
+        if not changed:
+            # Identical VRP multiset: every covering set, hence every
+            # verdict and the (sorted) serialisation, is unchanged.
+            return
+        added, removed = vrp_churn(old_vrps, report.vrps)
+        obs.add("delta.vrps_added", added)
+        obs.add("delta.vrps_removed", removed)
+        new_rov = ROVValidator(report.vrps)
+        carried = new_rov.seed_from(self._rov, changed)
+        obs.add("delta.rov_verdicts_carried", carried)
+        cover = self._cover.affected(changed)
+        obs.add("delta.rpki_cover_routes", len(cover))
+        cover_routes = [self._routes[i] for i in cover]
+        new_status = new_rov.validate_many(cover_routes)
+        for key in cover_routes:
+            old = self._rpki_status[key]
+            new = new_status[key]
+            if new is old:
+                continue
+            if new.is_invalid != old.is_invalid:
+                self._regroup(key, rpki_flipped=True)
+            self._rpki_status[key] = new
+        self._rov = new_rov
+
+    def _reclassify_irr(self, changed_prefix: Prefix) -> None:
+        cover = self._cover.affected([changed_prefix])
+        obs.add("delta.irr_cover_routes", len(cover))
+        cover_set = set(cover)
+        # Carry every untouched verdict into the registry's fresh
+        # (version-tagged) memo; only the cover set is re-walked.
+        seed_memo(
+            self._state.irr,
+            {
+                key: status
+                for index, key in enumerate(self._routes)
+                if index not in cover_set
+                for status in (self._irr_status[key],)
+            },
+        )
+        cover_routes = [self._routes[i] for i in cover]
+        new_status = validate_irr_many(self._state.irr, cover_routes)
+        for key in cover_routes:
+            old = self._irr_status[key]
+            new = new_status[key]
+            if new is old:
+                continue
+            if (new is IRRStatus.INVALID_ORIGIN) != (
+                old is IRRStatus.INVALID_ORIGIN
+            ):
+                self._regroup(key, rpki_flipped=False)
+            self._irr_status[key] = new
+
+    def _regroup(self, key: tuple[Prefix, int], rpki_flipped: bool) -> None:
+        """Move one route between (origin, class) buckets after a flip."""
+        prefix, asn = key
+        old_class = self._route_class(prefix, asn)
+        if rpki_flipped:
+            new_class = RouteClass(
+                rpki_invalid=not old_class.rpki_invalid,
+                irr_invalid=old_class.irr_invalid,
+            )
+        else:
+            new_class = RouteClass(
+                rpki_invalid=old_class.rpki_invalid,
+                irr_invalid=not old_class.irr_invalid,
+            )
+        old_bucket = self._groups[(asn, old_class)]
+        old_bucket.discard(prefix)
+        if not old_bucket:
+            del self._groups[(asn, old_class)]
+        self._groups.setdefault((asn, new_class), set()).add(prefix)
+        obs.add("delta.routes_regrouped")
+
+    def _rebuild_engine(self, adopt: bool) -> None:
+        previous = self._engine
+        self._engine = PropagationEngine(
+            self._state.topology, self._state.policies
+        )
+        obs.add("delta.engine_rebuilds")
+        if adopt:
+            carried = self._engine.adopt_cache(previous)
+            obs.add("delta.paths_carried", carried)
+
+    # -- materialisation -----------------------------------------------------
+
+    def world(self) -> World:
+        """The full ``World`` at the current instant (cached until the
+        next event); digest-equal to a cold rebuild of the same events."""
+        if self._cached_world is not None:
+            return self._cached_world
+        with obs.span(
+            "delta.materialise", events_applied=self._events_applied
+        ):
+            world = self._materialise()
+        self._cached_world = world
+        return world
+
+    def _materialise(self) -> World:
+        base = self._base
+        engine = self._engine
+        keys = sorted(
+            self._groups,
+            key=lambda key: (key[0], key[1].rpki_invalid, key[1].irr_invalid),
+        )
+        vantage_points = base.vantage_points
+        engine.ensure_cache_capacity(len(keys))
+        if kernels.use_numpy():
+            paths_by_key = engine.paths_to_many(keys, vantage_points)
+        else:
+            paths_by_key = [
+                engine.paths_to(origin, vantage_points, route_class)
+                for origin, route_class in keys
+            ]
+        groups = [
+            RouteGroup(
+                origin=origin,
+                route_class=route_class,
+                prefixes=tuple(sorted(self._groups[(origin, route_class)])),
+                paths=paths,
+            )
+            for (origin, route_class), paths in zip(keys, paths_by_key)
+        ]
+        rib = RibSnapshot(vantage_points=vantage_points, groups=groups)
+        prefix2as = Prefix2AS.from_rib(rib)
+        ihr = self._derive_ihr(rib, engine)
+        config = base.config
+        if self._date != config.snapshot_date:
+            from dataclasses import replace
+
+            config = replace(config, snapshot_date=self._date)
+        size_of = (
+            classify_all(self._state.topology)
+            if self._state.topology_changed
+            else dict(base.size_of)
+        )
+        return World(
+            config=config,
+            seed=base.seed,
+            topology=self._state.topology,
+            quiescent=base.quiescent,
+            as2org=base.as2org,
+            size_of=size_of,
+            manrs=self._state.manrs,
+            address_space=base.address_space,
+            originations=base.originations,
+            behaviors=base.behaviors,
+            policies=self._state.policies,
+            rpki_repository=self._state.repository,
+            irr=self._state.irr,
+            engine=engine,
+            vantage_points=vantage_points,
+            rov=self._rov,
+            rib=rib,
+            ihr=ihr,
+            prefix2as=prefix2as,
+            scale=base.scale,
+        )
+
+    def _derive_ihr(
+        self, rib: RibSnapshot, engine: PropagationEngine
+    ) -> IHRDataset:
+        """The IHR tables, with per-group transit results cached.
+
+        Record order mirrors :func:`repro.ihr.pipeline.build_ihr_dataset`
+        exactly: prefix origins in visible-group order, transit groups in
+        visible order restricted to groups with scores.  A group's transit
+        result is a pure function of (origin, effective-filter signature,
+        topology state, prefixes, statuses) — everything in the cache key
+        — so cached entries splice in byte-identically.
+        """
+        visible = [group for group in rib.groups if group.paths]
+        prefix_origins: list[PrefixOriginRecord] = []
+        group_statuses: list[tuple] = []
+        cache_keys: list[tuple] = []
+        for group in visible:
+            statuses = tuple(
+                (
+                    self._rpki_status[(prefix, group.origin)],
+                    self._irr_status[(prefix, group.origin)],
+                )
+                for prefix in group.prefixes
+            )
+            group_statuses.append(statuses)
+            visibility = len(group.paths)
+            for prefix, (rpki_status, irr_status) in zip(
+                group.prefixes, statuses
+            ):
+                prefix_origins.append(
+                    PrefixOriginRecord(
+                        prefix=prefix,
+                        origin=group.origin,
+                        rpki=rpki_status,
+                        irr=irr_status,
+                        visibility=visibility,
+                    )
+                )
+            cache_keys.append(
+                (
+                    group.origin,
+                    self._signature_id(engine, group.route_class),
+                    self._topo_version,
+                    group.prefixes,
+                    statuses,
+                )
+            )
+        miss_indices = [
+            index
+            for index, cache_key in enumerate(cache_keys)
+            if cache_key not in self._transit_cache
+        ]
+        obs.add("delta.transit_hits", len(visible) - len(miss_indices))
+        obs.add("delta.transit_misses", len(miss_indices))
+        if miss_indices:
+            scored = dict(
+                transit_groups_indexed(
+                    [visible[i] for i in miss_indices],
+                    [group_statuses[i] for i in miss_indices],
+                    self._state.topology,
+                )
+            )
+            for local, index in enumerate(miss_indices):
+                self._transit_cache[cache_keys[index]] = scored.get(local)
+        transit_groups = [
+            transit_group
+            for cache_key in cache_keys
+            for transit_group in (self._transit_cache[cache_key],)
+            if transit_group is not None
+        ]
+        obs.add("ihr.prefix_origins", len(prefix_origins))
+        obs.add("ihr.transit_groups", len(transit_groups))
+        return IHRDataset(
+            prefix_origins=prefix_origins, transit_groups=transit_groups
+        )
+
+
+def run_job_at(job, at: str) -> dict[str, dict[str, str]]:
+    """Run a sweep/serve job against a live world advanced to ``at``.
+
+    Module-level (not a closure) so the serve layer can dispatch it into
+    a spawn-context process pool.  Mirrors
+    :func:`repro.sweep.worker.run_job` but wraps the cached world in a
+    :class:`LiveWorld` and moves the observation instant first — the
+    serving layer's "answer as of this date" hook.
+    """
+    import hashlib
+
+    from repro.experiments.common import world_cache
+    from repro.experiments.registry import select
+
+    as_of = date.fromisoformat(at)
+    with obs.span(
+        "serve.job_at",
+        job=job.job_id[:12],
+        at=at,
+        scale=job.scale,
+        seed=job.seed,
+    ):
+        base = world_cache(job.scale, job.seed, config=job.config())
+        live = LiveWorld(base)
+        live.advance_to(as_of)
+        world = live.world()
+        payload: dict[str, dict[str, str]] = {}
+        for spec in select(job.experiments or None):
+            with obs.span(f"sweep.experiment.{spec.name}"):
+                text = spec.render(spec.run(world))
+            payload[spec.name] = {
+                "text": text,
+                "sha256": hashlib.sha256(text.encode()).hexdigest(),
+            }
+    return payload

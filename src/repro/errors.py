@@ -43,3 +43,7 @@ class DatasetError(ReproError):
 
 class ScenarioError(ReproError):
     """A scenario configuration is internally inconsistent."""
+
+
+class DeltaError(ReproError):
+    """A delta event cannot be applied to the current world state."""

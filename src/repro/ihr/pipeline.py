@@ -45,7 +45,7 @@ from repro.shard import (
 )
 from repro.topology.model import ASTopology
 
-__all__ = ["build_ihr_dataset"]
+__all__ = ["build_ihr_dataset", "transit_groups_indexed"]
 
 log = logging.getLogger(__name__)
 
@@ -170,6 +170,62 @@ def _transit_groups_python(
             )
         )
     return transit_groups
+
+
+def transit_groups_indexed(
+    visible: list[RouteGroup],
+    group_statuses: list[tuple],
+    topology: ASTopology,
+    trim: float = DEFAULT_TRIM,
+) -> list[tuple[int, TransitGroup]]:
+    """``(index, TransitGroup)`` pairs for groups with transit scores.
+
+    Per-group outputs are identical to the batch builders above, but each
+    surviving group is tagged with its index into ``visible`` so an
+    incremental caller (:mod:`repro.delta`) can score a sparse subset of
+    groups and splice the results between cached ones.  Kernel-mode
+    dispatch matches :func:`build_ihr_dataset`.
+    """
+    if not visible:
+        return []
+    if kernels.use_numpy():
+        columns = _hegemony_columns(visible, topology, trim)
+        groups = _groups_from_columns(visible, group_statuses, columns)
+        group_ids = columns[0]
+        if not len(group_ids):
+            return []
+        bounds = np.flatnonzero(
+            np.concatenate(([True], group_ids[1:] != group_ids[:-1]))
+        )
+        return list(zip(group_ids[bounds].tolist(), groups))
+    customers_of = {asn: topology.customers_of(asn) for asn in topology.asns}
+    pairs: list[tuple[int, TransitGroup]] = []
+    for index, (group, statuses) in enumerate(zip(visible, group_statuses)):
+        stripped = [strip_prepending(path) for path in group.paths.values()]
+        scores = hegemony_scores(stripped, trim=trim, prestripped=True)
+        if not scores:
+            continue
+        learned_from_customer = _customer_learning(stripped, customers_of)
+        transits = {
+            asn: TransitInfo(
+                hegemony=score,
+                from_customer=learned_from_customer.get(asn, False),
+            )
+            for asn, score in scores.items()
+        }
+        pairs.append(
+            (
+                index,
+                TransitGroup(
+                    origin=group.origin,
+                    prefixes=group.prefixes,
+                    statuses=statuses,
+                    transits=transits,
+                    visibility=len(group.paths),
+                ),
+            )
+        )
+    return pairs
 
 
 def _hegemony_columns(

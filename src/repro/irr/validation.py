@@ -153,6 +153,25 @@ def _memo_of(
     return memo
 
 
+def seed_memo(
+    registry: IRRCollection | IRRDatabase,
+    verdicts: dict[tuple[Prefix, int], IRRStatus],
+) -> bool:
+    """Pre-populate the registry's current-version verdict memo.
+
+    After a registry mutation the version-tagged memo starts empty; a
+    caller that knows which routes the mutation *cannot* have affected
+    (no added/removed object covers them — see :mod:`repro.delta`) can
+    seed their old verdicts instead of re-walking the trie for each.
+    Returns False when the registry does not support memoisation.
+    """
+    memo = _memo_of(registry)
+    if memo is None:
+        return False
+    memo.update(verdicts)
+    return True
+
+
 def validate_irr(
     registry: IRRCollection | IRRDatabase, prefix: Prefix, origin: int
 ) -> IRRStatus:

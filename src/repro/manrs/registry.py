@@ -60,6 +60,43 @@ class MANRSRegistry:
         """All participants in registration order."""
         return tuple(self._participants)
 
+    def remove(self, org_id: str, program: Program) -> Participant:
+        """Deregister one org's membership in one program.
+
+        Returns the removed participant; raises :class:`DatasetError` when
+        the (org, program) pair is not registered.  Remaining participants
+        keep their registration order, so serialisation stays stable.
+        """
+        for index, participant in enumerate(self._participants):
+            if (
+                participant.org_id == org_id
+                and participant.program == program
+            ):
+                del self._participants[index]
+                for asn in participant.asns:
+                    memberships = self._by_asn.get(asn)
+                    if memberships is not None:
+                        memberships.remove(participant)
+                        if not memberships:
+                            del self._by_asn[asn]
+                return participant
+        raise DatasetError(
+            f"{org_id} is not registered in program {program.value}"
+        )
+
+    def copy(self) -> "MANRSRegistry":
+        """An independent registry with the same participants.
+
+        Participant records are frozen and shared; membership lists are
+        rebuilt so ``add``/``remove`` on the copy never touch the original.
+        """
+        clone = MANRSRegistry()
+        for participant in self._participants:
+            clone._participants.append(participant)
+            for asn in participant.asns:
+                clone._by_asn.setdefault(asn, []).append(participant)
+        return clone
+
     def participants_in(self, program: Program) -> list[Participant]:
         """Participants of one program."""
         return [p for p in self._participants if p.program is program]

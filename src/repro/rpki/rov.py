@@ -264,6 +264,54 @@ class ROVValidator:
         obs.add("rov.memo_misses", len(pending))
         return results
 
+    def seed_verdicts(
+        self, verdicts: dict[tuple[Prefix, int], RPKIStatus]
+    ) -> None:
+        """Pre-populate the per-route memo with externally known verdicts.
+
+        The caller asserts the verdicts are what this validator would
+        compute itself — the sound use is carrying verdicts across a
+        validator rebuild for routes whose covering VRP set provably did
+        not change (see :mod:`repro.delta`).
+        """
+        self._memo.update(verdicts)
+
+    def seed_from(
+        self, other: "ROVValidator", changed: Iterable[Prefix]
+    ) -> int:
+        """Carry memoised state over from ``other`` for unaffected routes.
+
+        ``changed`` is the set of prefixes whose VRP entries differ
+        between the two validators' VRP sets.  A route's RFC 6811 verdict
+        is a function of its covering VRPs, and its coverage bit of
+        whether any covering VRP exists; both can only change when some
+        added/removed VRP covers the route, i.e. when the route's prefix
+        lies inside a changed prefix.  Everything outside that cover set
+        is copied; returns the number of entries carried.
+        """
+        spans: dict[int, list[tuple[int, int]]] = {}
+        for prefix in changed:
+            spans.setdefault(prefix.version, []).append(
+                (prefix.first, prefix.last)
+            )
+
+        def unaffected(prefix: Prefix) -> bool:
+            for first, last in spans.get(prefix.version, ()):
+                if prefix.first >= first and prefix.last <= last:
+                    return False
+            return True
+
+        carried = 0
+        for (prefix, origin), status in other._memo.items():
+            if unaffected(prefix):
+                self._memo[(prefix, origin)] = status
+                carried += 1
+        for prefix, covered in other._covered_memo.items():
+            if unaffected(prefix):
+                self._covered_memo[prefix] = covered
+                carried += 1
+        return carried
+
     def covered_space(self, prefixes: Iterable[Prefix]) -> list[Prefix]:
         """Subset of ``prefixes`` that have at least one covering VRP.
 

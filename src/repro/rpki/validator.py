@@ -164,6 +164,19 @@ class IncrementalRelyingParty:
             ),
         )
 
+    def refresh(self) -> None:
+        """Drop the precomputed plans; the next validate rebuilds them.
+
+        The fingerprint only tracks object *counts*, so an in-place
+        mutation that removes one object and adds another (a delta
+        event stream withdrawing one ROA and publishing a different one)
+        can leave the counts unchanged while invalidating every plan.
+        Callers that mutate the repository directly must call this after
+        each mutation batch.
+        """
+        self._plans = None
+        self._fingerprint = None
+
     def validate(self, as_of: date) -> ValidationReport:
         """Produce the VRP set a router would receive on ``as_of``."""
         fingerprint = self._current_fingerprint()

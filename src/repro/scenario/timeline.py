@@ -26,6 +26,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 from repro import obs
 from repro.core.conformance import origination_stats
+from repro.delta.cover import vrp_delta
 from repro.core.impact import rpki_saturation
 from repro.core.participation import members_by_rir, routed_space_share_by_rir
 from repro.manrs.actions import Program, action4_threshold
@@ -70,7 +71,16 @@ class Timeline:
     persisted next to the world's entry (``years/vrps-<year>.csv`` with a
     digest side-car) and restored instead of re-validated on later runs.
     Restoration is safe-by-default like every checkpoint load: a failed
-    digest discards the snapshot and re-validates.
+    digest discards the snapshot and re-validates — but the failure is
+    counted (``timeline.rov_years_corrupt``) rather than folded silently
+    into the never-saved case, so tampering is observable.
+
+    Year-over-year validation reuses the delta layer's machinery: each
+    fresh year's validator is seeded from the nearest already-computed
+    year via :func:`~repro.delta.cover.vrp_delta` +
+    :meth:`~repro.rpki.rov.ROVValidator.seed_from`, so the saturation
+    sweep re-classifies only prefixes whose covering VRPs actually
+    changed across the year boundary.
     """
 
     def __init__(self, world: World, store: "CheckpointStore | None" = None):
@@ -94,6 +104,19 @@ class Timeline:
             range(config.first_year, config.snapshot_date.year + 1)
         )
 
+    def _nearest_cached(self, year: int) -> ROVValidator | None:
+        """The closest already-built year validator, for delta seeding.
+
+        Adjacent years share almost their whole VRP set (only objects
+        whose validity window the boundary crosses differ), so verdicts
+        carried from the nearest neighbour leave very little for the new
+        year's validator to classify from scratch.
+        """
+        candidates = [other for other in self._rov_cache if other != year]
+        if not candidates:
+            return None
+        return self._rov_cache[min(candidates, key=lambda y: abs(y - year))]
+
     def _year_end(self, year: int) -> date:
         if year == self._world.config.snapshot_date.year:
             return self._world.config.snapshot_date
@@ -108,7 +131,18 @@ class Timeline:
         """
         if self._store is None or self._store_key is None:
             return None
-        vrps = self._store.load_year_vrps(self._store_key, year)
+        from repro.datasets.checkpoint import CheckpointError
+
+        try:
+            vrps = self._store.load_year_vrps(
+                self._store_key, year, strict=True
+            )
+        except CheckpointError:
+            # The snapshot existed but failed its digest (or parse):
+            # fall through to re-validation, but leave a distinct trace —
+            # a corrupt store is worth noticing, an absent one is not.
+            obs.add("timeline.rov_years_corrupt")
+            return None
         if vrps is None:
             return None
         obs.add("timeline.rov_years_restored")
@@ -125,6 +159,13 @@ class Timeline:
             with obs.span("timeline.rov_at", year=year), obs.gc_paused():
                 report = self._relying_party.validate(self._year_end(year))
                 validator = ROVValidator(report.vrps)
+                previous = self._nearest_cached(year)
+                if previous is not None:
+                    changed = vrp_delta(
+                        previous.all_vrps(), report.vrps
+                    )
+                    carried = validator.seed_from(previous, changed)
+                    obs.add("timeline.rov_verdicts_carried", carried)
             obs.add("timeline.rov_years_validated")
             self._rov_cache[year] = validator
             if self._store is not None and self._store_key is not None:
@@ -332,18 +373,34 @@ def weekly_member_conformance(
         if n_flap
         else set()
     )
-    dip_windows: dict[int, set[int]] = {}
+    # Each flap is an event pair — the registration problem appearing
+    # (+1) and clearing (-1) — replayed in week order against a set of
+    # active dips, the same stream-of-changes shape the delta layer uses
+    # for full worlds.  Draw order matches the old per-AS window loop, so
+    # the series is numerically identical.
+    dip_events: list[tuple[int, int, int]] = []
     for asn in flapped:
         start = int(rng.integers(0, max(1, n_weeks - 2)))
         length = int(rng.integers(1, 4))
-        dip_windows[asn] = set(range(start, min(n_weeks, start + length)))
+        dip_events.append((start, asn, +1))
+        dip_events.append((min(n_weeks, start + length), asn, -1))
+    dip_events.sort()
 
     percentages: list[dict[int, float]] = []
     verdicts: list[dict[int, bool]] = []
+    active: set[int] = set()
+    cursor = 0
     for week in range(n_weeks):
+        while cursor < len(dip_events) and dip_events[cursor][0] <= week:
+            _, asn, direction = dip_events[cursor]
+            if direction > 0:
+                active.add(asn)
+            else:
+                active.discard(asn)
+            cursor += 1
         week_pct: dict[int, float] = {}
         for asn, pct in base.items():
-            if asn in flapped and week in dip_windows[asn]:
+            if asn in active:
                 # Enough prefixes lose registration to dip under the bar.
                 total = totals[asn]
                 deficit = max(1, int(np.ceil(total * 0.15)))

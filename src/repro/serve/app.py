@@ -13,6 +13,13 @@ tiers, fastest first:
    :func:`repro.sweep.worker.run_job` a sweep worker runs, so served
    payloads are byte-identical to sweep and ``repro reproduce`` output).
 
+An ``at=YYYY-MM-DD`` query parameter answers against a *live* world
+instead: the worker wraps the cached base world in a
+:class:`repro.delta.live.LiveWorld`, advances the observation instant to
+``at`` (ROA validity windows shift; only the affected cover set is
+re-validated), and runs the experiment there.  ``at`` joins the result
+key, so each instant caches independently.
+
 Identity is content-addressed: the key is
 :func:`repro.datasets.checkpoint.content_key` over (experiment, scale,
 seed, canonical overrides), computed *before* any build — two requests
@@ -47,6 +54,7 @@ from typing import Awaitable, Callable, Mapping
 from repro import obs
 from repro.config import RuntimeConfig
 from repro.datasets.checkpoint import CheckpointStore, content_key
+from repro.delta.live import run_job_at
 from repro.experiments.registry import REGISTRY
 from repro.scenario.config import ScenarioConfig
 from repro.serve.http import HttpError, Request, read_request, response_bytes
@@ -96,18 +104,24 @@ def result_key(
     scale: float,
     seed: int,
     overrides: Mapping[str, object],
+    at: str | None = None,
 ) -> str:
-    """The content-addressed identity of one served measurement."""
-    return content_key(
-        {
-            "schema_version": SERVE_SCHEMA_VERSION,
-            "experiment": experiment,
-            "scale": scale,
-            "seed": seed,
-            "overrides": {str(k): overrides[k] for k in sorted(overrides)},
-        },
-        kind="serve-result",
-    )
+    """The content-addressed identity of one served measurement.
+
+    ``at`` (an ISO date) keys live-world answers separately per instant;
+    it enters the identity dict only when set, so every pre-existing key
+    is unchanged.
+    """
+    identity: dict[str, object] = {
+        "schema_version": SERVE_SCHEMA_VERSION,
+        "experiment": experiment,
+        "scale": scale,
+        "seed": seed,
+        "overrides": {str(k): overrides[k] for k in sorted(overrides)},
+    }
+    if at is not None:
+        identity["at"] = at
+    return content_key(identity, kind="serve-result")
 
 
 def _json_body(payload: object) -> bytes:
@@ -142,6 +156,7 @@ class ReproService:
         store: CheckpointStore | None = None,
         runtime: RuntimeConfig | None = None,
         build_fn: Callable[[Job], dict] | None = None,
+        build_at_fn: Callable[[Job, str], dict] | None = None,
         executor=None,
         workers: int = 2,
         queue_limit: int = DEFAULT_QUEUE_LIMIT,
@@ -154,6 +169,7 @@ class ReproService:
         self.queue_limit = max(1, queue_limit)
         self.builders = max(1, builders)
         self._build_fn = build_fn or run_job
+        self._build_at_fn = build_at_fn or run_job_at
         self._executor = executor
         self._owns_executor = executor is None
         self._memory: OrderedDict[str, dict] = OrderedDict()
@@ -398,22 +414,24 @@ class ReproService:
     ) -> tuple[int, object, dict[str, str]]:
         # Synchronous phase (span-safe): parse, key, cache lookup.
         with obs.span("serve.request", route="experiment", experiment=name):
-            job, key = self._parse_experiment(request, name)
+            job, key, at = self._parse_experiment(request, name)
             payload = self._cached(key)
             if payload is not None:
                 obs.add("serve.hits")
         if payload is None:
-            payload = await self._build(key, job)
+            payload = await self._build(key, job, at)
         return 200, payload, {"x-repro-key": key}
 
-    def _parse_experiment(self, request: Request, name: str) -> tuple[Job, str]:
+    def _parse_experiment(
+        self, request: Request, name: str
+    ) -> tuple[Job, str, str | None]:
         if name not in REGISTRY:
             raise HttpError(
                 404,
                 f"unknown experiment {name!r}; "
                 f"choose from {', '.join(REGISTRY)}",
             )
-        allowed = {"scale", "seed", "set"}
+        allowed = {"scale", "seed", "set", "at"}
         unknown = set(request.query) - allowed
         if unknown:
             raise HttpError(
@@ -444,6 +462,14 @@ class ReproService:
             apply_overrides(overrides, ScenarioConfig())
         except SweepSpecError as error:
             raise HttpError(400, str(error)) from None
+        at = request.first("at", "") or None
+        if at is not None:
+            from datetime import date as _date
+
+            try:
+                _date.fromisoformat(at)
+            except ValueError as error:
+                raise HttpError(400, f"bad at date: {error}") from None
         job = Job(
             job_id=job_id_for(overrides, scale, seed, (name,)),
             scenario="serve",
@@ -452,7 +478,7 @@ class ReproService:
             seed=seed,
             experiments=(name,),
         )
-        return job, result_key(name, scale, seed, overrides)
+        return job, result_key(name, scale, seed, overrides, at=at), at
 
     # -- cache tiers ---------------------------------------------------------
 
@@ -476,7 +502,7 @@ class ReproService:
 
     # -- the build queue -----------------------------------------------------
 
-    async def _build(self, key: str, job: Job) -> dict:
+    async def _build(self, key: str, job: Job, at: str | None = None) -> dict:
         """Resolve a cold miss: coalesce onto in-flight work or enqueue."""
         assert self._queue is not None, "start() first"
         future = self._inflight.get(key)
@@ -488,7 +514,7 @@ class ReproService:
             self._inflight[key] = future
             obs.gauge("serve.inflight", len(self._inflight))
             try:
-                self._queue.put_nowait((key, job, future))
+                self._queue.put_nowait((key, job, at, future))
             except asyncio.QueueFull:
                 self._inflight.pop(key, None)
                 obs.gauge("serve.inflight", len(self._inflight))
@@ -509,14 +535,22 @@ class ReproService:
         assert self._queue is not None
         loop = asyncio.get_running_loop()
         while True:
-            key, job, future = await self._queue.get()
+            key, job, at, future = await self._queue.get()
             obs.gauge("serve.queue_depth", self._queue.qsize())
             result: BuildResult
             try:
-                raw = await loop.run_in_executor(
-                    self._executor, self._build_fn, job
-                )
-                result = ("ok", self._publish(key, job, raw))
+                if at is not None:
+                    # Live-world path: build (or load) the base world in
+                    # the worker, advance it to the requested instant,
+                    # and run the experiment against the result.
+                    raw = await loop.run_in_executor(
+                        self._executor, self._build_at_fn, job, at
+                    )
+                else:
+                    raw = await loop.run_in_executor(
+                        self._executor, self._build_fn, job
+                    )
+                result = ("ok", self._publish(key, job, raw, at))
             except asyncio.CancelledError:
                 if not future.done():
                     future.set_result(("error", "server shutting down"))
@@ -532,7 +566,13 @@ class ReproService:
                 future.set_result(result)
             self._queue.task_done()
 
-    def _publish(self, key: str, job: Job, raw: Mapping[str, dict]) -> dict:
+    def _publish(
+        self,
+        key: str,
+        job: Job,
+        raw: Mapping[str, dict],
+        at: str | None = None,
+    ) -> dict:
         """Wrap a built result into the served payload and cache it."""
         name = job.experiments[0]
         if name not in raw:
@@ -549,6 +589,8 @@ class ReproService:
             "overrides": dict(job.overrides),
             "result": dict(raw[name]),
         }
+        if at is not None:
+            payload["at"] = at
         self._remember(key, payload)
         if self.store is not None:
             self.store.save_result(key, payload)

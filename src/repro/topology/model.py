@@ -212,6 +212,28 @@ class ASTopology:
             or b in self._peers[a]
         )
 
+    def linked(self, a: int, b: int) -> bool:
+        """True if any relationship already exists between ``a`` and ``b``."""
+        if a not in self._ases or b not in self._ases:
+            raise TopologyError(f"link query references unknown AS ({a}, {b})")
+        return self._linked(a, b)
+
+    def copy(self) -> "ASTopology":
+        """An independent topology sharing the immutable AS/org records.
+
+        Adjacency sets are copied so mutations (``add_link``) on the copy
+        never leak into the original; :class:`AutonomousSystem` and
+        :class:`Organization` records are shared (append-only worlds never
+        replace them).  Derived caches start cold on the copy.
+        """
+        clone = ASTopology()
+        clone._ases = dict(self._ases)
+        clone._orgs = dict(self._orgs)
+        clone._providers = {asn: set(s) for asn, s in self._providers.items()}
+        clone._customers = {asn: set(s) for asn, s in self._customers.items()}
+        clone._peers = {asn: set(s) for asn, s in self._peers.items()}
+        return clone
+
     def _invalidate(self) -> None:
         self._cone_cache = None
         self._rank_cache = None
