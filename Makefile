@@ -10,7 +10,7 @@ SCALE ?= 1.0
 LABEL ?= local
 SMOKE_BUDGET ?= 120
 
-.PHONY: test lint bench bench-pytest bench-smoke bench-compare profile smoke-profile trace-smoke sweep-smoke scale-smoke serve-smoke delta-smoke
+.PHONY: test lint bench bench-pytest bench-smoke bench-compare profile smoke-profile trace-smoke sweep-smoke scale-smoke serve-smoke delta-smoke scenarios-smoke
 
 ## Tier-1 test suite (unit + integration + equivalence).
 test:
@@ -52,12 +52,16 @@ bench-smoke:
 scale-smoke:
 	$(PYTHON) scripts/check_shard_parity.py --scale 0.5 --shards 2 --jobs 2
 
-## Perf soft gate: one quick benchmark run compared against the
-## committed baseline; exits 3 on >25% regression or digest drift.
+## Perf gate: one quick benchmark run compared against the committed
+## baseline.  COMPARE_MODE=all (default) exits 3 on >25% regression or
+## digest drift; COMPARE_MODE=digests (the CI setting) warns on timing
+## and exits 3 on digest drift only.
+COMPARE_MODE ?= all
 bench-compare:
 	$(PYTHON) benchmarks/run.py --label compare --scale 0.3 --rounds 3 \
 		--scale-sweep 0.3 --output-dir /tmp \
-		--compare benchmarks/BASELINE.json
+		--compare benchmarks/BASELINE.json \
+		--compare-mode $(COMPARE_MODE)
 
 ## Stage-level wall-clock breakdown of one full-scale build.
 profile:
@@ -79,6 +83,11 @@ serve-smoke:
 ## instants (the replay==rebuild invariant, end to end).
 delta-smoke:
 	$(PYTHON) scripts/check_delta.py
+
+## Scenario-pack smoke: every family in repro.scenarios runs on the
+## pinned world in both kernel modes and must match its golden digest.
+scenarios-smoke:
+	$(PYTHON) scripts/check_scenarios.py
 
 ## Sweep orchestrator smoke: run -> resume -> report on the example
 ## grid, against a throwaway cache/ledger directory.

@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Scenario-pack smoke: every family, both kernel modes, golden digests.
+
+Builds the pinned (scale, seed) world once per kernel mode
+(``REPRO_KERNELS=python`` and ``=numpy``), runs every scenario family in
+``repro.scenarios.FAMILIES`` on it, and fails unless each rendered
+figure hashes to the digest committed in
+``tests/goldens/scenario_digests.json`` — in *both* modes.  This is the
+``make scenarios-smoke`` CI gate: it pins the families' output
+byte-for-byte and proves they are kernel-independent in one pass.
+
+Usage::
+
+    PYTHONPATH=src python scripts/check_scenarios.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+GOLDENS_PATH = (
+    Path(__file__).resolve().parent.parent
+    / "tests"
+    / "goldens"
+    / "scenario_digests.json"
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.parse_args(argv)
+
+    from repro.scenario.build import _build_world
+    from repro.scenarios import FAMILIES
+
+    golden = json.loads(GOLDENS_PATH.read_text())["entry"]
+    scale, seed = golden["scale"], golden["seed"]
+    expected: dict[str, str] = golden["digests"]
+
+    missing = set(FAMILIES) ^ set(expected)
+    if missing:
+        print(
+            f"SCENARIO SMOKE FAIL: goldens and FAMILIES disagree on "
+            f"{sorted(missing)} — rerun scripts/update_goldens.py",
+            file=sys.stderr,
+        )
+        return 1
+
+    failures = 0
+    previous = os.environ.get("REPRO_KERNELS")
+    try:
+        for mode in ("python", "numpy"):
+            os.environ["REPRO_KERNELS"] = mode
+            start = time.perf_counter()
+            world = _build_world(scale, seed, None, None, None, None)
+            for name, family in FAMILIES.items():
+                text = family.render(family.run(world))
+                digest = hashlib.sha256(text.encode()).hexdigest()
+                if digest != expected[name]:
+                    failures += 1
+                    print(
+                        f"SCENARIO SMOKE FAIL [{mode}] {name}: "
+                        f"digest {digest[:16]}… != golden "
+                        f"{expected[name][:16]}…",
+                        file=sys.stderr,
+                    )
+            print(
+                f"{mode}: {len(FAMILIES)} families in "
+                f"{time.perf_counter() - start:.2f}s",
+                file=sys.stderr,
+            )
+    finally:
+        if previous is None:
+            os.environ.pop("REPRO_KERNELS", None)
+        else:
+            os.environ["REPRO_KERNELS"] = previous
+
+    if failures:
+        return 1
+    print(
+        f"scenario smoke OK: {len(FAMILIES)} families golden-identical "
+        f"in both kernel modes at scale {scale:g} seed {seed}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -36,6 +36,13 @@ GOLDENS_PATH = (
 
 REPLAY_GOLDENS_PATH = GOLDENS_PATH.parent / "replay_digests.json"
 
+SCENARIO_GOLDENS_PATH = GOLDENS_PATH.parent / "scenario_digests.json"
+
+#: The scenario-pack pin: every family rendered at the ``small_world``
+#: point and digested.  (scale, seed) matches the first DEFAULT_POINTS
+#: entry so tests/test_scenarios.py can reuse the session fixture.
+SCENARIO_SCALE, SCENARIO_SEED = 0.12, 11
+
 #: The replayed-instant pin: synthetic events applied to the
 #: ``small_world`` point through the live world, digested mid-stream and
 #: at the end.  (scale, seed) must match the first DEFAULT_POINTS entry
@@ -91,6 +98,24 @@ def replay_entry() -> dict:
     }
 
 
+def scenario_entry() -> dict:
+    """Digest every scenario family's rendered figure at the pin point."""
+    import hashlib
+
+    from repro.scenarios import FAMILIES
+
+    world = build_world(scale=SCENARIO_SCALE, seed=SCENARIO_SEED)
+    digests = {}
+    for name, family in FAMILIES.items():
+        text = family.render(family.run(world))
+        digests[name] = hashlib.sha256(text.encode()).hexdigest()
+    return {
+        "scale": SCENARIO_SCALE,
+        "seed": SCENARIO_SEED,
+        "digests": digests,
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -139,6 +164,20 @@ def main(argv: list[str] | None = None) -> int:
             f"world={point['world_digest'][:16]}"
         )
     print(f"wrote replay golden to {REPLAY_GOLDENS_PATH}")
+    scenarios = {
+        "comment": (
+            "Scenario-pack rendered-figure digests (repro.scenarios); "
+            "regenerate with scripts/update_goldens.py and justify "
+            "drift in the commit."
+        ),
+        "entry": scenario_entry(),
+    }
+    SCENARIO_GOLDENS_PATH.write_text(
+        json.dumps(scenarios, indent=1, sort_keys=True) + "\n"
+    )
+    for name, digest in scenarios["entry"]["digests"].items():
+        print(f"scenario {name} digest={digest[:16]}")
+    print(f"wrote scenario goldens to {SCENARIO_GOLDENS_PATH}")
     return 0
 
 

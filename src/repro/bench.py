@@ -39,6 +39,7 @@ __all__ = [
     "BENCH_SCHEMA_VERSION",
     "BenchLedger",
     "compare_payloads",
+    "split_compare_problems",
     "main",
 ]
 
@@ -53,18 +54,21 @@ LEDGER_FILE = "ledger.jsonl"
 _RUNNER = Path(__file__).resolve().parent.parent.parent / "benchmarks" / "run.py"
 
 
-def compare_payloads(
+def split_compare_problems(
     current: dict, baseline: dict, threshold: float
-) -> list[str]:
-    """Regression problems in ``current`` relative to ``baseline``.
+) -> tuple[list[str], list[str]]:
+    """``(digest_problems, timing_problems)`` versus a baseline payload.
 
-    Flags any shared top-level benchmark whose best-of-rounds time
-    slowed by more than ``threshold`` (fractional), any digest-equality
-    flag that went false, and any scale-sweep digest that drifted from
-    the baseline's digest at the same (scale, seed).  Empty list = gate
-    passes.
+    The two classes deserve different gates: digest drift is a
+    *correctness* signal (the same (scale, seed) built a different
+    world, or a warm path diverged from its cold rebuild) and must block
+    CI, while timing ratios on small shared runners carry enough
+    scheduler noise that they should only ever warn there.  Callers
+    wanting the historical single-list behaviour use
+    :func:`compare_payloads`.
     """
-    problems: list[str] = []
+    digest_problems: list[str] = []
+    timing_problems: list[str] = []
     base_benchmarks = baseline.get("benchmarks", {})
     for name, stats in current.get("benchmarks", {}).items():
         base = base_benchmarks.get(name)
@@ -78,20 +82,20 @@ def compare_payloads(
             continue
         ratio = time_now / base_time
         if ratio > 1.0 + threshold:
-            problems.append(
+            timing_problems.append(
                 f"{name}: {time_now:.3f}s is {ratio:.2f}x baseline "
                 f"{base_time:.3f}s (limit {1.0 + threshold:.2f}x)"
             )
     warm = current.get("warm_start")
     if warm is not None and not warm.get("digest_equal", True):
-        problems.append("warm_start: cold/warm digest drift")
+        digest_problems.append("warm_start: cold/warm digest drift")
     current_rows = {
         (row["scale"], row["seed"]): row
         for row in current.get("scale_sweep", [])
     }
     for row in current.get("scale_sweep", []):
         if not row.get("digest_equal", True):
-            problems.append(
+            digest_problems.append(
                 f"scale_sweep {row['scale']}: cold/lazy/eager digest drift"
             )
     for base_row in baseline.get("scale_sweep", []):
@@ -99,7 +103,7 @@ def compare_payloads(
         if row is None:
             continue
         if base_row.get("world_digest") != row.get("world_digest"):
-            problems.append(
+            digest_problems.append(
                 f"scale_sweep {row['scale']}: digest drifted from baseline "
                 f"({base_row.get('world_digest')} -> "
                 f"{row.get('world_digest')})"
@@ -109,11 +113,28 @@ def compare_payloads(
         base_cold = base_row.get("cold", {}).get("seconds", 0)
         cold = row.get("cold", {}).get("seconds", 0)
         if base_cold > 0 and cold / base_cold > 1.0 + 2 * threshold:
-            problems.append(
+            timing_problems.append(
                 f"scale_sweep {row['scale']}: cold build {cold:.2f}s is "
                 f"{cold / base_cold:.2f}x baseline {base_cold:.2f}s"
             )
-    return problems
+    return digest_problems, timing_problems
+
+
+def compare_payloads(
+    current: dict, baseline: dict, threshold: float
+) -> list[str]:
+    """Regression problems in ``current`` relative to ``baseline``.
+
+    Flags any shared top-level benchmark whose best-of-rounds time
+    slowed by more than ``threshold`` (fractional), any digest-equality
+    flag that went false, and any scale-sweep digest that drifted from
+    the baseline's digest at the same (scale, seed).  Empty list = gate
+    passes.  Digest drift comes first — it is the blocking class.
+    """
+    digest_problems, timing_problems = split_compare_problems(
+        current, baseline, threshold
+    )
+    return digest_problems + timing_problems
 
 
 class BenchLedger:

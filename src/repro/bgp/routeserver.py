@@ -7,16 +7,29 @@ route server builds, per member, a prefix filter from the member's own
 route objects plus its customer ``as-set`` (via
 :func:`repro.irr.filtergen.build_prefix_filter` semantics) and drops
 everything else — the IXP program's equivalent of Action 1.
+
+Route servers at large IXPs increasingly run ROV on top of (or instead
+of) IRR filtering ("Keep Your Friends Close", PAPERS.md).  Passing a
+``rov`` validator enables that: RPKI-invalid announcements are rejected
+before the IRR checks, for every member at once — one deployment point
+covering the whole fabric.  ``irr_filtering=False`` models a transparent
+route server that reflects everything (the pre-filtering baseline the
+routeserver-ROV scenario compares against).  Both knobs default to the
+historical behaviour.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.bgp.announcement import Announcement
 from repro.irr.asset import expand_as_set
 from repro.irr.database import IRRCollection, IRRDatabase
 from repro.irr.filtergen import FilterEntry, PrefixFilter
+
+if TYPE_CHECKING:
+    from repro.rpki.rov import ROVValidator
 
 __all__ = ["RouteServerVerdict", "RouteServerReport", "RouteServer"]
 
@@ -73,10 +86,14 @@ class RouteServer:
         irr: IRRCollection | IRRDatabase,
         members: tuple[int, ...],
         upto: int = 24,
+        rov: "ROVValidator | None" = None,
+        irr_filtering: bool = True,
     ):
         self._irr = irr
         self._members = tuple(sorted(set(members)))
         self._upto = upto
+        self._rov = rov
+        self._irr_filtering = irr_filtering
         self._filters: dict[int, PrefixFilter] = {}
         self._allowed_origins: dict[int, frozenset[int]] = {}
         self._routes_index: dict[int, list] | None = None
@@ -124,6 +141,21 @@ class RouteServer:
         if member not in self._members:
             return RouteServerVerdict(
                 member, announcement, False, "not a member"
+            )
+        if self._rov is not None:
+            status = self._rov.validate(
+                announcement.prefix, announcement.origin
+            )
+            if status.is_invalid:
+                return RouteServerVerdict(
+                    member,
+                    announcement,
+                    False,
+                    f"RPKI {status.value}",
+                )
+        if not self._irr_filtering:
+            return RouteServerVerdict(
+                member, announcement, True, "transparent"
             )
         prefix_filter = self.filter_for(member)
         if announcement.origin not in self._allowed_origins[member]:

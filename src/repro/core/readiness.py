@@ -21,6 +21,11 @@ from repro.core.conformance import (
 )
 from repro.manrs.actions import Program, action4_threshold
 from repro.manrs.contacts import PeeringDBLike, is_action3_conformant
+from repro.manrs.sav import (
+    SpooferCampaign,
+    is_action2_conformant,
+    is_action2_mandatory,
+)
 from repro.scenario.world import World
 
 __all__ = [
@@ -47,10 +52,22 @@ class ReadinessReport:
     #: Action 3: contact information present and fresh.
     action3_ok: bool
     blockers: tuple[str, ...] = field(default_factory=tuple)
+    #: Action 2 (SAV): Spoofer-evidence verdict — ``None`` means no
+    #: measurement evidence was supplied or the network was never tested.
+    action2_ok: bool | None = None
+    #: Whether the evaluated program marks Action 2 as mandatory.
+    action2_required: bool = False
 
     @property
     def ready(self) -> bool:
-        """True when every mandatory action passes."""
+        """True when every mandatory action passes.
+
+        Action 2 only gates admission when the program mandates it *and*
+        Spoofer evidence says the network leaks spoofed traffic; absence
+        of evidence never blocks (the paper's §4.4 measurement gap).
+        """
+        if self.action2_required and self.action2_ok is False:
+            return False
         return self.action4_ok and self.action1_ok and self.action3_ok
 
 
@@ -59,8 +76,14 @@ def check_readiness(
     asn: int,
     peeringdb: PeeringDBLike | None = None,
     program: Program = Program.ISP,
+    spoofer: SpooferCampaign | None = None,
 ) -> ReadinessReport:
-    """Evaluate one AS against the program's mandatory actions."""
+    """Evaluate one AS against the program's mandatory actions.
+
+    Passing ``spoofer`` (a Spoofer measurement campaign) adds an
+    Action 2 verdict; without it the report is exactly what this check
+    has always produced.
+    """
     og_stats = origination_stats(world.ihr).get(asn)
     pg_stats = propagation_stats(world.ihr).get(asn)
     peeringdb = peeringdb or PeeringDBLike()
@@ -70,6 +93,10 @@ def check_readiness(
     action3_ok = is_action3_conformant(
         asn, world.irr, peeringdb, world.snapshot_date
     )
+    action2_ok = (
+        is_action2_conformant(asn, spoofer) if spoofer is not None else None
+    )
+    action2_required = is_action2_mandatory(program)
     unregistered = tuple(
         str(record.prefix)
         for record in world.ihr.records_of(asn)
@@ -94,6 +121,12 @@ def check_readiness(
         blockers.append(
             "Action 3: no fresh contact information in PeeringDB or the IRR"
         )
+    if action2_ok is False:
+        severity = "" if action2_required else " (advisory for this program)"
+        blockers.append(
+            "Action 2: Spoofer runs show spoofed packets escaping; "
+            f"deploy SAV on customer edges{severity}"
+        )
     return ReadinessReport(
         asn=asn,
         already_member=world.is_member(asn),
@@ -106,12 +139,14 @@ def check_readiness(
         action1_ok=action1_ok,
         action3_ok=action3_ok,
         blockers=tuple(blockers),
+        action2_ok=action2_ok,
+        action2_required=action2_required,
     )
 
 
 def readiness_as_dict(report: ReadinessReport) -> dict:
     """The readiness check as a JSON-ready document (``ready --json``)."""
-    return {
+    document = {
         "asn": report.asn,
         "ready": report.ready,
         "already_member": report.already_member,
@@ -127,6 +162,12 @@ def readiness_as_dict(report: ReadinessReport) -> dict:
         "action3": {"ok": report.action3_ok},
         "blockers": list(report.blockers),
     }
+    if report.action2_ok is not None:
+        document["action2"] = {
+            "ok": report.action2_ok,
+            "required": report.action2_required,
+        }
+    return document
 
 
 def render_readiness(report: ReadinessReport) -> str:
@@ -145,6 +186,12 @@ def render_readiness(report: ReadinessReport) -> str:
         f"  Action 3 (contacts):    "
         f"{'pass' if report.action3_ok else 'FAIL'}",
     ]
+    if report.action2_ok is not None:
+        qualifier = "" if report.action2_required else " [advisory]"
+        lines.append(
+            f"  Action 2 (SAV):         "
+            f"{'pass' if report.action2_ok else 'FAIL'}{qualifier}"
+        )
     for blocker in report.blockers:
         lines.append(f"  -> {blocker}")
     return "\n".join(lines)

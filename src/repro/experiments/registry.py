@@ -29,6 +29,7 @@ import repro.experiments.fig9_preference as fig9_preference
 import repro.experiments.tab1_casestudies as tab1_casestudies
 import repro.experiments.tab2_action1 as tab2_action1
 from repro.scenario.world import World
+from repro.scenarios import FAMILIES as _SCENARIO_FAMILIES
 
 __all__ = ["REGISTRY", "ExperimentSpec", "registry_table", "select"]
 
@@ -134,6 +135,19 @@ def _ordered_specs() -> tuple[ExperimentSpec, ...]:
             "§9, Figure 9",
             fig9_preference.run,
             fig9_preference.render,
+        ),
+        # The scenario pack (repro.scenarios, DESIGN.md §17) rides the
+        # same registry: families appear after the paper artefacts, in
+        # the pack's own order.
+        *(
+            ExperimentSpec(
+                family.name,
+                family.title,
+                family.paper_ref,
+                family.run,
+                family.render,
+            )
+            for family in _SCENARIO_FAMILIES.values()
         ),
     )
 

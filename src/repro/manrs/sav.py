@@ -26,6 +26,8 @@ __all__ = [
     "SpooferCampaign",
     "assign_sav_deployment",
     "run_spoofer_campaign",
+    "is_action2_conformant",
+    "is_action2_mandatory",
 ]
 
 #: Baseline SAV deployment (Luckie et al. observed roughly a quarter to a
@@ -91,8 +93,14 @@ def run_spoofer_campaign(
     Volunteer clients appear in a random ``test_probability`` fraction of
     networks (coverage is opportunistic in reality too); each run reveals
     that network's true SAV state.
+
+    The draw stream is decorrelated from
+    :func:`assign_sav_deployment`'s by construction: both iterate the
+    same sorted ASNs, so sharing a raw seed would otherwise test exactly
+    the networks whose deployment draw fell below ``test_probability`` —
+    a campaign that only ever finds SAV deployers.
     """
-    rng = np.random.default_rng(seed)
+    rng = np.random.default_rng([0x5AF, seed])
     results = [
         SpooferResult(
             asn=asn,
@@ -103,3 +111,32 @@ def run_spoofer_campaign(
         if rng.random() < test_probability
     ]
     return SpooferCampaign(results=results)
+
+
+def is_action2_conformant(
+    asn: int, campaign: SpooferCampaign
+) -> bool | None:
+    """Action 2 verdict for one network from Spoofer evidence.
+
+    ``True``/``False`` when the campaign tested the network (any run
+    showing spoofed packets escaping fails the action — MANRS asks for
+    SAV on *all* edges), ``None`` when there is no evidence either way.
+    Coverage is opportunistic, so ``None`` is the common case — exactly
+    the measurement gap that kept Action 2 out of the paper's scope.
+    """
+    runs = [r for r in campaign.results if r.asn == asn]
+    if not runs:
+        return None
+    return all(r.blocks_spoofing for r in runs)
+
+
+def is_action2_mandatory(program) -> bool:
+    """Whether the program's catalogue marks Action 2 as mandatory."""
+    from repro.manrs.actions import ACTIONS
+
+    return any(
+        action.program is program
+        and action.number == 2
+        and action.mandatory
+        for action in ACTIONS
+    )

@@ -18,9 +18,7 @@ The measurement pipeline is instrumented with three primitives:
 
 Setting ``REPRO_PERF=1`` prints each span to stderr as it closes, in the
 same ``[perf] name: N.NNNs`` format the retired ``repro.perf`` module
-used; :mod:`repro.perf` itself survives as a thin shim over this
-package, so existing callers of ``perf.stage`` / ``perf.timings`` keep
-working unchanged.
+used (the shim itself was removed after its two-PR deprecation window).
 
 Everything here is observation-only: no instrumented call site feeds a
 span or counter value back into the pipeline, so world and timeline

@@ -3,7 +3,7 @@
 Worker-count resolution and the batch GC pause are not observability per
 se, but they are steered by the same environment contract
 (``REPRO_JOBS``, ``REPRO_PERF``) and every instrumented call site needs
-them; hosting them here keeps :mod:`repro.perf` a pure re-export shim.
+them.
 """
 
 from __future__ import annotations

@@ -14,9 +14,8 @@ design — the pipeline's process-parallel fan-out never traces inside
 workers, and the per-process stack keeps the hot path lock-free.
 
 Alongside the tree, a flat ``name → accumulated seconds`` aggregate is
-maintained with exactly the semantics of the old ``repro.perf`` timings
-(insertion-ordered by first completion, summed across repeats); the
-:mod:`repro.perf` shim exposes it unchanged.
+maintained with the semantics of the retired ``repro.perf`` timings
+(insertion-ordered by first completion, summed across repeats).
 """
 
 from __future__ import annotations

@@ -1,0 +1,117 @@
+"""Scenario family (b): controlled-experiment ROV inference.
+
+Reuter et al. infer which ASes deploy ROV by announcing beacon pairs —
+one RPKI-Valid and one Invalid prefix per origin — and watching who
+loses the invalid one.  The paper declined the method because on the
+real Internet its error structure cannot be validated (§4.2, §11).
+Here it can: :func:`repro.core.rov_inference.infer_rov` runs the
+methodology against the simulator and the ground-truth policy table
+scores it exactly.
+
+The family crosses two axes:
+
+* **visibility** — ``full`` infers every AS in the topology (the
+  omniscient upper bound); ``collectors`` restricts scoring to the
+  route-collector vantage points, the visibility a real measurement
+  actually has;
+* **evidence threshold** — how many beacons must agree before an AS is
+  inferred as filtering (Reuter et al.'s corroboration knob).
+
+Alongside precision/recall, each cell counts the false positives whose
+direct providers deploy ROV — the classic confound (§11: an AS behind
+filtering providers loses the invalid beacon without deploying
+anything itself).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.core.rov_inference import evaluate_inference, infer_rov
+from repro.scenario.world import World
+from repro.scenarios.base import ScenarioFamily
+
+__all__ = ["FAMILY"]
+
+
+def _beacon_panel(world: World, beacons: int) -> list[int]:
+    """Deterministic beacon origins: announcing ASes, evenly strided."""
+    candidates = sorted(
+        asn for asn, origs in world.originations.items() if origs
+    )
+    if len(candidates) <= beacons:
+        return candidates
+    stride = len(candidates) / beacons
+    return [candidates[int(i * stride)] for i in range(beacons)]
+
+
+def _score(world: World, inferred: Mapping[int, bool]) -> dict:
+    quality = evaluate_inference(inferred, world.policies)
+    fp_provider_filtered = sum(
+        1
+        for asn, verdict in inferred.items()
+        if verdict
+        and not (asn in world.policies and world.policies[asn].rov)
+        and any(
+            provider in world.policies and world.policies[provider].rov
+            for provider in world.topology.providers_of(asn)
+        )
+    )
+    return {
+        "tp": quality.true_positives,
+        "fp": quality.false_positives,
+        "fn": quality.false_negatives,
+        "tn": quality.true_negatives,
+        "precision": quality.precision,
+        "recall": quality.recall,
+        "fp_provider_filtered": fp_provider_filtered,
+    }
+
+
+def _run(world: World, params: Mapping[str, Any]) -> dict:
+    beacons = _beacon_panel(world, int(params["beacons"]))
+    everyone = world.topology.asns
+    collectors = sorted(world.vantage_points)
+    results: dict[str, dict] = {}
+    for min_evidence in params["evidence_levels"]:
+        inferred = infer_rov(
+            world.engine, beacons, everyone, min_evidence=int(min_evidence)
+        )
+        results[f"full@{min_evidence}"] = _score(world, inferred)
+        results[f"collectors@{min_evidence}"] = _score(
+            world, {asn: inferred[asn] for asn in collectors}
+        )
+    return {
+        "beacons": beacons,
+        "targets": {"full": len(everyone), "collectors": len(collectors)},
+        "results": results,
+    }
+
+
+def _render(result: dict) -> str:
+    lines = [
+        "Scenario cexp — controlled-experiment ROV inference",
+        f"beacon origins: {len(result['beacons'])}  "
+        f"targets: {result['targets']['full']} ASes "
+        f"({result['targets']['collectors']} collector-visible)",
+        f"{'visibility':>14}  {'tp':>4}  {'fp':>4}  {'fn':>4}  {'tn':>5}  "
+        f"{'precision':>9}  {'recall':>6}  {'fp@prov':>7}",
+    ]
+    for label, cell in result["results"].items():
+        lines.append(
+            f"{label:>14}  {cell['tp']:4d}  {cell['fp']:4d}  "
+            f"{cell['fn']:4d}  {cell['tn']:5d}  "
+            f"{cell['precision']:9.3f}  {cell['recall']:6.3f}  "
+            f"{cell['fp_provider_filtered']:7d}"
+        )
+    return "\n".join(lines)
+
+
+FAMILY = ScenarioFamily(
+    name="cexp",
+    title="Scenario — controlled-experiment ROV inference",
+    paper_ref="Reuter et al. (PAPERS.md); paper §4.2/§11",
+    compute=_run,
+    format=_render,
+    params={"beacons": 8, "evidence_levels": (1, 2)},
+)

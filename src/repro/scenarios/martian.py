@@ -1,0 +1,175 @@
+"""Scenario family (d): martian origination and SAV conformance.
+
+"Martians Among Us" (PAPERS.md) observes reserved/private address space
+leaking onto the public Internet.  In the simulator a martian is a
+route with no covering registration anywhere — no ROA (NOT_FOUND, so
+ROV lets it pass) and no IRR object (so any strict Action-1 prefix
+filter drops it).  That is exactly the
+``RouteClass(irr_invalid=True)`` propagation class, so martian *reach*
+— the fraction of collector vantage points that receive the leak — is
+measured with one extra propagation per originator, against the
+unchanged world.
+
+The second half is MANRS Action 2: a Spoofer-style campaign
+(:mod:`repro.manrs.sav`) measures source-address-validation deployment
+and the family reports the member/non-member split — reproducing the
+Luckie et al. null result the paper cites (§4.4) — plus the per-member
+Action 2 conformance verdicts now wired into the readiness check.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.bgp.policy import RouteClass
+from repro.manrs.sav import (
+    assign_sav_deployment,
+    is_action2_conformant,
+    run_spoofer_campaign,
+)
+from repro.scenario.world import World
+from repro.scenarios.base import ScenarioFamily
+
+__all__ = ["FAMILY", "MARTIAN_PREFIXES"]
+
+#: Classic martian/bogon space (RFC 1918, loopback, link-local, CGN,
+#: documentation, class E) — what leaks look like in the related work.
+MARTIAN_PREFIXES: tuple[str, ...] = (
+    "10.0.0.0/8",
+    "172.16.0.0/12",
+    "192.168.0.0/16",
+    "127.0.0.0/8",
+    "169.254.0.0/16",
+    "100.64.0.0/10",
+    "192.0.2.0/24",
+    "198.51.100.0/24",
+    "240.0.0.0/4",
+)
+
+
+def _originator_panel(world: World, per_group: int) -> dict[str, list[int]]:
+    """Deterministic leaker panels: members and non-members separately."""
+    members = world.members()
+    member_pool = sorted(asn for asn in world.topology.asns if asn in members)
+    other_pool = sorted(
+        asn for asn in world.topology.asns if asn not in members
+    )
+
+    def stride(pool: list[int]) -> list[int]:
+        if len(pool) <= per_group:
+            return pool
+        step = len(pool) / per_group
+        return [pool[int(i * step)] for i in range(per_group)]
+
+    return {"members": stride(member_pool), "non_members": stride(other_pool)}
+
+
+def _reach_stats(world: World, originators: list[int]) -> dict:
+    vantage_points = world.vantage_points
+    martian_class = RouteClass(irr_invalid=True)
+    reaches = []
+    for origin in originators:
+        routes = world.engine.propagate(
+            origin, martian_class, targets=vantage_points
+        )
+        # Targeted propagation may materialise routes beyond the targets
+        # (the influence zone); reach counts vantage points only.
+        seen = sum(1 for vp in vantage_points if vp in routes)
+        reaches.append(seen / len(vantage_points))
+    if not reaches:
+        return {"n": 0, "mean": 0.0, "max": 0.0}
+    return {
+        "n": len(reaches),
+        "mean": sum(reaches) / len(reaches),
+        "max": max(reaches),
+    }
+
+
+def _run(world: World, params: Mapping[str, Any]) -> dict:
+    panels = _originator_panel(world, int(params["originators"]))
+    reach = {
+        group: _reach_stats(world, originators)
+        for group, originators in panels.items()
+    }
+
+    members = world.members()
+    sav_truth = assign_sav_deployment(
+        world, seed=world.seed, rate=float(params["sav_rate"])
+    )
+    campaign = run_spoofer_campaign(
+        world,
+        sav_truth,
+        test_probability=float(params["test_probability"]),
+        seed=world.seed,
+    )
+    member_verdicts = [
+        verdict
+        for verdict in (
+            is_action2_conformant(asn, campaign) for asn in sorted(members)
+        )
+        if verdict is not None
+    ]
+    return {
+        "martian_prefixes": len(MARTIAN_PREFIXES),
+        "originators": panels,
+        "reach": reach,
+        "sav": {
+            "tested": campaign.tested_count(),
+            "overall": campaign.deployment_rate(),
+            "members": campaign.deployment_rate(members),
+            "members_tested": campaign.tested_count(members),
+            "non_members": campaign.deployment_rate(
+                frozenset(world.topology.asns) - members
+            ),
+        },
+        "action2": {
+            "members_with_evidence": len(member_verdicts),
+            "members_conformant": sum(member_verdicts),
+        },
+    }
+
+
+def _render(result: dict) -> str:
+    reach = result["reach"]
+    sav = result["sav"]
+    action2 = result["action2"]
+    lines = [
+        "Scenario martian — bogon origination reach and SAV conformance",
+        f"martian prefixes: {result['martian_prefixes']}  "
+        f"leakers: {reach['members']['n']} member / "
+        f"{reach['non_members']['n']} non-member",
+        f"{'population':>12}  {'mean reach':>10}  {'max reach':>9}",
+    ]
+    for group, label in (("members", "members"), ("non_members", "others")):
+        stats = reach[group]
+        lines.append(
+            f"{label:>12}  {stats['mean'] * 100:9.1f}%  "
+            f"{stats['max'] * 100:8.1f}%"
+        )
+    lines.append(
+        f"SAV (Spoofer, {sav['tested']} tested): "
+        f"overall {sav['overall'] * 100:.1f}%  "
+        f"members {sav['members'] * 100:.1f}% "
+        f"({sav['members_tested']} tested)  "
+        f"non-members {sav['non_members'] * 100:.1f}%"
+    )
+    lines.append(
+        f"Action 2: {action2['members_conformant']}/"
+        f"{action2['members_with_evidence']} members with Spoofer evidence "
+        "conformant"
+    )
+    return "\n".join(lines)
+
+
+FAMILY = ScenarioFamily(
+    name="martian",
+    title="Scenario — martian origination and SAV",
+    paper_ref="Martians Among Us (PAPERS.md); paper §4.4",
+    compute=_run,
+    format=_render,
+    params={
+        "originators": 8,
+        "sav_rate": 0.3,
+        "test_probability": 0.25,
+    },
+)

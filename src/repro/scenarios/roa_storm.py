@@ -1,0 +1,182 @@
+"""Scenario family (c): ROA mis-issuance storms and AS0 campaigns.
+
+"SoK: An Introspective Analysis of RPKI Security" (PAPERS.md)
+catalogues what happens when the RPKI itself misbehaves: mis-issued
+ROAs that point a victim's space at the wrong origin, AS0 ROAs that
+declare whole blocks unroutable, and stale objects expiring out from
+under still-announced routes.  This family drives all three as bursts
+through the PR-8 delta event layer — each wave is a list of
+:class:`~repro.delta.events.RoaIssued`/``RoaExpired`` events applied to
+a :class:`~repro.delta.live.LiveWorld`, so the storm exercises exactly
+the incremental re-validation path a live relying party would take and
+the base world is never touched.
+
+After every wave the live world is materialised and each announced
+route is re-classified: the wave's *blast radius* is the number of
+(prefix, origin) verdict flips, and MANRS-member exposure counts the
+members left originating RPKI-invalid space.
+"""
+
+from __future__ import annotations
+
+from datetime import date
+from typing import Any, Mapping
+
+from repro.delta.live import LiveWorld
+from repro.rpki.roa import ROA
+from repro.scenario.world import World
+from repro.scenarios.base import ScenarioFamily
+
+__all__ = ["FAMILY"]
+
+#: Validity window used for storm-issued ROAs (same convention as the
+#: delta event synthesizer: comfortably spans every snapshot date).
+_NOT_BEFORE = date(2015, 1, 1)
+_NOT_AFTER = date(2032, 1, 1)
+
+
+def _trust_anchor_for(world: World, block) -> str:
+    """The trust-anchor certificate covering ``block`` (issuance point)."""
+    for _, certificate in sorted(world.rpki_repository.certificates.items()):
+        if certificate.issuer_id is None and certificate.covers(block):
+            return certificate.certificate_id
+    raise ValueError(f"no trust anchor covers {block}")
+
+
+def _storm_waves(world: World, per_wave: int) -> list[tuple[str, list]]:
+    """Three deterministic waves of applicable-by-construction events."""
+    from repro.delta.events import RoaExpired, RoaIssued
+
+    origins = sorted(
+        asn for asn, origs in world.originations.items() if origs
+    )
+    count = min(per_wave, len(origins))
+
+    misissued = []
+    for index in range(count):
+        victim = origins[index]
+        wrong_origin = origins[(index + 1) % len(origins)]
+        block = world.originations[victim][0].block
+        misissued.append(
+            RoaIssued(
+                roa=ROA(
+                    prefix=block,
+                    asn=wrong_origin,
+                    max_length=block.length,
+                    certificate_id=_trust_anchor_for(world, block),
+                    not_before=_NOT_BEFORE,
+                    not_after=_NOT_AFTER,
+                )
+            )
+        )
+
+    as0 = []
+    for index in range(count):
+        victim = origins[(index + count) % len(origins)]
+        block = world.originations[victim][0].block
+        as0.append(
+            RoaIssued(
+                roa=ROA(
+                    prefix=block,
+                    asn=0,
+                    max_length=block.length,
+                    certificate_id=_trust_anchor_for(world, block),
+                    not_before=_NOT_BEFORE,
+                    not_after=_NOT_AFTER,
+                )
+            )
+        )
+
+    published = sorted(
+        world.rpki_repository.roas,
+        key=lambda roa: (str(roa.prefix), roa.asn, roa.max_length),
+    )
+    expiry = [RoaExpired(roa=roa) for roa in published[:count]]
+
+    return [
+        ("mis-issued", misissued),
+        ("as0-campaign", as0),
+        ("expiry-storm", expiry),
+    ]
+
+
+def _classify_routes(world: World, source: World) -> dict:
+    """RPKI verdict of every announced route of ``source`` under
+    ``world``'s validator."""
+    return {
+        (origination.prefix, asn): world.rov.validate(
+            origination.prefix, asn
+        )
+        for asn, originations in source.originations.items()
+        for origination in originations
+    }
+
+
+def _wave_row(
+    label: str,
+    events: int,
+    verdicts: dict,
+    previous: dict,
+    members: frozenset[int],
+) -> dict:
+    invalid = {key for key, status in verdicts.items() if status.is_invalid}
+    flips = sum(
+        1 for key, status in verdicts.items() if previous[key] is not status
+    )
+    member_invalid = [key for key in invalid if key[1] in members]
+    return {
+        "label": label,
+        "events": events,
+        "invalid": len(invalid),
+        "flips": flips,
+        "invalid_member_routes": len(member_invalid),
+        "members_exposed": len({asn for _, asn in member_invalid}),
+    }
+
+
+def _run(world: World, params: Mapping[str, Any]) -> dict:
+    waves = _storm_waves(world, int(params["per_wave"]))
+    live = LiveWorld(world)
+    members = world.members()
+    verdicts = _classify_routes(world, world)
+    rows = [_wave_row("baseline", 0, verdicts, verdicts, members)]
+    for label, events in waves:
+        for event in events:
+            live.apply(event)
+        current = _classify_routes(live.world(), world)
+        rows.append(
+            _wave_row(label, len(events), current, verdicts, members)
+        )
+        verdicts = current
+    return {
+        "routes": len(verdicts),
+        "events_total": sum(len(events) for _, events in waves),
+        "waves": rows,
+    }
+
+
+def _render(result: dict) -> str:
+    lines = [
+        "Scenario roastorm — ROA storms through the delta layer",
+        f"routes tracked: {result['routes']}  "
+        f"events applied: {result['events_total']}",
+        f"{'wave':>14}  {'events':>6}  {'invalid':>7}  {'flips':>5}  "
+        f"{'mbr routes':>10}  {'mbr exposed':>11}",
+    ]
+    for row in result["waves"]:
+        lines.append(
+            f"{row['label']:>14}  {row['events']:6d}  {row['invalid']:7d}  "
+            f"{row['flips']:5d}  {row['invalid_member_routes']:10d}  "
+            f"{row['members_exposed']:11d}"
+        )
+    return "\n".join(lines)
+
+
+FAMILY = ScenarioFamily(
+    name="roastorm",
+    title="Scenario — ROA storms and AS0 campaigns",
+    paper_ref="SoK: RPKI Security (PAPERS.md)",
+    compute=_run,
+    format=_render,
+    params={"per_wave": 6},
+)

@@ -1,0 +1,163 @@
+"""Scenario family (a): routeserver-side ROV at an IXP.
+
+"Keep Your Friends Close, but Your Routeservers Closer" (PAPERS.md)
+measures RPKI validation *at IXP route servers* — one deployment point
+that cleans the fabric for every member at once, versus each member
+deploying ROV on its own sessions.  This family stages that comparison
+on the built world: a deterministic member set peers with one route
+server, every member announces its own routes plus one hijack of the
+next member's prefix, and the same batch is evaluated under three
+server configurations:
+
+* ``transparent`` — the server reflects everything (the no-filtering
+  baseline; only members' *own* ROV drops anything);
+* ``irr`` — the pre-existing IRR/as-set filtering (Action 1 at the IXP);
+* ``irr+rov`` — IRR filtering plus origin validation on the server.
+
+The per-config metrics count RPKI-invalid announcements accepted, the
+resulting invalid *deliveries* (accepted invalid × receiving sessions),
+how many of those deliveries member-side ROV would still have caught,
+and how many members end up exposed — the "members toggling their own
+filtering" axis of the related work.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.bgp.announcement import Announcement
+from repro.bgp.routeserver import RouteServer
+from repro.scenario.world import World
+from repro.scenarios.base import ScenarioFamily
+
+__all__ = ["FAMILY"]
+
+
+def _member_panel(world: World, max_members: int) -> list[int]:
+    """Deterministic IXP member set: origin ASes, evenly strided."""
+    candidates = sorted(
+        asn for asn, origs in world.originations.items() if origs
+    )
+    if len(candidates) <= max_members:
+        return candidates
+    stride = len(candidates) / max_members
+    return [candidates[int(i * stride)] for i in range(max_members)]
+
+
+def _batch(world: World, members: list[int]) -> list[tuple[int, Announcement]]:
+    """Each member announces its own first prefix plus one hijack of the
+    next member's prefix (origin forged to the announcer)."""
+    batch: list[tuple[int, Announcement]] = []
+    for index, member in enumerate(members):
+        own = world.originations[member][0]
+        batch.append((member, Announcement(prefix=own.prefix, origin=member)))
+        victim = members[(index + 1) % len(members)]
+        if victim != member:
+            stolen = world.originations[victim][0]
+            batch.append(
+                (member, Announcement(prefix=stolen.prefix, origin=member))
+            )
+    return batch
+
+
+def _evaluate_config(
+    world: World,
+    server: RouteServer,
+    members: list[int],
+    batch: list[tuple[int, Announcement]],
+) -> dict:
+    receivers = len(members) - 1
+    rov_receivers = {
+        member: sum(
+            1
+            for other in members
+            if other != member and not world.policies[other].rov
+        )
+        for member in members
+    }
+    accepted = invalid_accepted = 0
+    invalid_deliveries = invalid_after_member_rov = 0
+    exposed: set[int] = set()
+    for announcer, announcement in batch:
+        verdict = server.evaluate(announcer, announcement)
+        if not verdict.accepted:
+            continue
+        accepted += 1
+        status = world.rov.validate(announcement.prefix, announcement.origin)
+        if not status.is_invalid:
+            continue
+        invalid_accepted += 1
+        invalid_deliveries += receivers
+        invalid_after_member_rov += rov_receivers[announcer]
+        exposed.update(
+            other
+            for other in members
+            if other != announcer and not world.policies[other].rov
+        )
+    return {
+        "accepted": accepted,
+        "invalid_accepted": invalid_accepted,
+        "invalid_deliveries": invalid_deliveries,
+        "invalid_after_member_rov": invalid_after_member_rov,
+        "members_exposed": len(exposed),
+    }
+
+
+def _run(world: World, params: Mapping[str, Any]) -> dict:
+    members = _member_panel(world, int(params["max_members"]))
+    batch = _batch(world, members)
+    servers = {
+        "transparent": RouteServer(
+            world.irr, tuple(members), irr_filtering=False
+        ),
+        "irr": RouteServer(world.irr, tuple(members)),
+        "irr+rov": RouteServer(world.irr, tuple(members), rov=world.rov),
+    }
+    configs = {
+        label: _evaluate_config(world, server, members, batch)
+        for label, server in servers.items()
+    }
+    member_rov = sum(1 for m in members if world.policies[m].rov)
+    return {
+        "members": len(members),
+        "member_rov_share": member_rov / len(members) if members else 0.0,
+        "announcements": len(batch),
+        "invalid_announcements": sum(
+            1
+            for _, a in batch
+            if world.rov.validate(a.prefix, a.origin).is_invalid
+        ),
+        "configs": configs,
+    }
+
+
+def _render(result: dict) -> str:
+    lines = [
+        "Scenario rsrov — routeserver ROV at the IXP",
+        f"members: {result['members']}  "
+        f"(own ROV: {result['member_rov_share'] * 100:.0f}%)  "
+        f"announcements: {result['announcements']}  "
+        f"rpki-invalid: {result['invalid_announcements']}",
+        f"{'config':>12}  {'accepted':>8}  {'inv.accept':>10}  "
+        f"{'inv.deliver':>11}  {'after mbr ROV':>13}  {'exposed':>7}",
+    ]
+    for label in ("transparent", "irr", "irr+rov"):
+        stats = result["configs"][label]
+        lines.append(
+            f"{label:>12}  {stats['accepted']:8d}  "
+            f"{stats['invalid_accepted']:10d}  "
+            f"{stats['invalid_deliveries']:11d}  "
+            f"{stats['invalid_after_member_rov']:13d}  "
+            f"{stats['members_exposed']:7d}"
+        )
+    return "\n".join(lines)
+
+
+FAMILY = ScenarioFamily(
+    name="rsrov",
+    title="Scenario — routeserver ROV at IXPs",
+    paper_ref="Keep Your Friends Close (PAPERS.md)",
+    compute=_run,
+    format=_render,
+    params={"max_members": 16},
+)

@@ -6,7 +6,11 @@ import json
 
 import pytest
 
-from repro.bench import BenchLedger, compare_payloads
+from repro.bench import (
+    BenchLedger,
+    compare_payloads,
+    split_compare_problems,
+)
 from repro.cli import main
 
 
@@ -99,6 +103,51 @@ class TestComparePayloads:
         }
         problems = compare_payloads(current, baseline, 0.25)
         assert any("digest drifted" in p for p in problems)
+
+
+class TestSplitCompareProblems:
+    """The digest/timing split behind ``--compare-mode digests``."""
+
+    def _payloads(self):
+        current = {
+            "benchmarks": {
+                "end_to_end": {"mean": 2.0, "min": 2.0, "rounds": 1}
+            },
+            "warm_start": {"digest_equal": False},
+            "scale_sweep": [
+                {"scale": 0.5, "seed": 7, "world_digest": "aaa",
+                 "digest_equal": True, "cold": {"seconds": 5.0}},
+            ],
+        }
+        baseline = {
+            "benchmarks": {
+                "end_to_end": {"mean": 1.0, "min": 1.0, "rounds": 1}
+            },
+            "scale_sweep": [
+                {"scale": 0.5, "seed": 7, "world_digest": "bbb",
+                 "digest_equal": True, "cold": {"seconds": 1.0}},
+            ],
+        }
+        return current, baseline
+
+    def test_classes_separated(self):
+        current, baseline = self._payloads()
+        digests, timings = split_compare_problems(current, baseline, 0.25)
+        assert any("warm_start" in p for p in digests)
+        assert any("digest drifted" in p for p in digests)
+        assert all("digest" not in p for p in timings)
+        assert any("end_to_end" in p for p in timings)
+        assert any("cold build" in p for p in timings)
+
+    def test_compare_payloads_is_the_union(self):
+        current, baseline = self._payloads()
+        digests, timings = split_compare_problems(current, baseline, 0.25)
+        assert compare_payloads(current, baseline, 0.25) == digests + timings
+
+    def test_clean_comparison_yields_two_empty_lists(self):
+        assert split_compare_problems(
+            payload_for("x"), payload_for("y"), 0.25
+        ) == ([], [])
 
 
 class TestBenchCli:

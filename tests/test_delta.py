@@ -274,43 +274,19 @@ def test_replay_golden_file_shape():
         assert len(point["world_digest"]) == 64
 
 
-# -- repro.perf removal window (satellite 3) ---------------------------------
+# -- repro.perf is gone (removal window closed) ------------------------------
 
 
-def test_importing_perf_emits_exactly_one_deprecation_warning():
-    code = (
-        "import warnings\n"
-        "with warnings.catch_warnings(record=True) as caught:\n"
-        "    warnings.simplefilter('always')\n"
-        "    import repro.perf\n"
-        "hits = [w for w in caught\n"
-        "        if issubclass(w.category, DeprecationWarning)\n"
-        "        and 'repro.perf' in str(w.message)]\n"
-        "print(len(hits))\n"
-    )
+def test_perf_shim_is_removed():
+    assert not (SRC / "repro" / "perf.py").exists()
     result = subprocess.run(
-        [sys.executable, "-c", code],
+        [sys.executable, "-c", "import repro.perf"],
         capture_output=True,
         text=True,
         env={"PYTHONPATH": str(SRC), "PATH": "/usr/bin:/bin"},
     )
-    assert result.returncode == 0, result.stderr
-    assert result.stdout.strip() == "1"
-
-
-def test_no_in_tree_module_imports_perf():
-    offenders = []
-    for path in sorted((SRC / "repro").rglob("*.py")):
-        if path.name == "perf.py":
-            continue
-        text = path.read_text()
-        if (
-            "import repro.perf" in text
-            or "from repro.perf" in text
-            or "from repro import perf" in text
-        ):
-            offenders.append(str(path.relative_to(REPO_ROOT)))
-    assert not offenders, f"modules still importing repro.perf: {offenders}"
+    assert result.returncode != 0
+    assert "ModuleNotFoundError" in result.stderr
 
 
 # -- tampered year snapshots are counted (satellite 4) -----------------------

@@ -15,7 +15,8 @@ from repro.experiments import REGISTRY, ExperimentSpec, select
 from repro.experiments import common
 from repro.experiments.registry import registry_table
 
-#: The registry's names, in the paper's presentation order.  A new
+#: The registry's names, in the paper's presentation order, followed by
+#: the scenario pack (repro.scenarios) in its own order.  A new
 #: experiment extends this list; renaming or reordering an existing one
 #: is a breaking change for CLI users and BENCH history.
 EXPECTED_NAMES = [
@@ -31,6 +32,10 @@ EXPECTED_NAMES = [
     "fig8",
     "tab2",
     "fig9",
+    "rsrov",
+    "cexp",
+    "roastorm",
+    "martian",
 ]
 
 

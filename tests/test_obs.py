@@ -1,23 +1,16 @@
 """Tests for the structured observability layer (repro.obs).
 
 Covers span nesting, counter aggregation and span attribution, gauge
-semantics, snapshot JSON round-tripping, the exporters, and the
-equivalence of the legacy ``repro.perf`` shim with the new layer.
+semantics, snapshot JSON round-tripping, and the exporters.
 """
 
 from __future__ import annotations
 
 import json
-import warnings
 
 import pytest
 
 from repro import obs
-
-with warnings.catch_warnings():
-    # The shim's DeprecationWarning is itself under test below.
-    warnings.simplefilter("ignore", DeprecationWarning)
-    from repro import perf
 
 
 @pytest.fixture(autouse=True)
@@ -177,61 +170,29 @@ class TestExporters:
         assert lines[1].startswith("[perf] outer: ")
 
 
-class TestPerfShim:
-    def test_import_warns_deprecation(self):
-        import importlib
-
-        with pytest.warns(DeprecationWarning, match="repro.obs"):
-            importlib.reload(perf)
-
-    def test_stage_is_span(self):
-        with perf.stage("legacy.stage"):
-            pass
-        assert [s.name for s in obs.root_spans()] == ["legacy.stage"]
-
-    def test_timings_match_obs_aggregate(self):
-        with perf.stage("a"):
-            with perf.stage("b"):
+class TestRuntimeHelpers:
+    def test_timings_ordered_by_first_completion(self):
+        with obs.span("a"):
+            with obs.span("b"):
                 pass
-        with perf.stage("a"):
+        with obs.span("a"):
             pass
-        assert perf.timings() == obs.timings()
-        assert list(perf.timings()) == ["b", "a"]
-
-    def test_reset_clears_timings(self):
-        with perf.stage("gone"):
-            pass
-        perf.reset()
-        assert perf.timings() == {}
-        assert obs.root_spans() == []
-
-    def test_public_names_still_exported(self):
-        for name in (
-            "PERF_ENV",
-            "JOBS_ENV",
-            "enabled",
-            "gc_paused",
-            "resolve_jobs",
-            "stage",
-            "timings",
-            "reset",
-        ):
-            assert hasattr(perf, name)
+        assert list(obs.timings()) == ["b", "a"]
 
     def test_resolve_jobs_contract(self, monkeypatch):
         monkeypatch.delenv("REPRO_JOBS", raising=False)
-        assert perf.resolve_jobs() == 1
-        assert perf.resolve_jobs(3) == 3
+        assert obs.resolve_jobs() == 1
+        assert obs.resolve_jobs(3) == 3
         monkeypatch.setenv("REPRO_JOBS", "5")
-        assert perf.resolve_jobs() == 5
+        assert obs.resolve_jobs() == 5
         monkeypatch.setenv("REPRO_JOBS", "junk")
-        assert perf.resolve_jobs() == 1
+        assert obs.resolve_jobs() == 1
 
     def test_gc_paused_restores_state(self):
         import gc
 
         assert gc.isenabled()
-        with perf.gc_paused():
+        with obs.gc_paused():
             assert not gc.isenabled()
         assert gc.isenabled()
 

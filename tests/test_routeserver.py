@@ -7,6 +7,8 @@ from repro.bgp.routeserver import RouteServer
 from repro.irr.database import IRRDatabase
 from repro.irr.objects import AsSetObject, RouteObject
 from repro.net.prefix import Prefix
+from repro.rpki.roa import RIR, VRP
+from repro.rpki.rov import ROVValidator
 
 
 def _p(text: str) -> Prefix:
@@ -82,6 +84,87 @@ class TestRouteServer:
         first = self.server.filter_for(10)
         second = self.server.filter_for(10)
         assert first is second
+
+
+class TestRouteServerROV:
+    """The optional ROV stage added for the routeserver-ROV scenario."""
+
+    def setup_method(self):
+        self.rov = ROVValidator(
+            [VRP(_p("12.0.0.0/16"), 10, 16, RIR.ARIN)]
+        )
+        self.server = RouteServer(
+            make_registry(), members=(10, 30), rov=self.rov
+        )
+
+    def test_valid_route_passes_through_to_irr(self):
+        verdict = self.server.evaluate(10, Announcement(_p("12.0.0.0/16"), 10))
+        assert verdict.accepted
+        assert verdict.reason == "registered"
+
+    def test_invalid_asn_rejected_before_irr(self):
+        # Forged origin under a covering ROA: rejected at the ROV stage,
+        # never reaching the as-set check (whose reason would differ).
+        verdict = self.server.evaluate(10, Announcement(_p("12.0.0.0/16"), 99))
+        assert not verdict.accepted
+        assert verdict.reason == "RPKI invalid_asn"
+
+    def test_invalid_length_rejected_despite_upto_allowance(self):
+        # The IRR filter's upto allowance would admit the /24; the ROA's
+        # maxLength of /16 rejects it first.
+        verdict = self.server.evaluate(10, Announcement(_p("12.0.5.0/24"), 10))
+        assert not verdict.accepted
+        assert verdict.reason == "RPKI invalid_length"
+
+    def test_not_found_falls_through_to_irr(self):
+        # No covering VRP: ROV abstains, the IRR verdict decides.
+        verdict = self.server.evaluate(10, Announcement(_p("13.0.0.0/16"), 10))
+        assert not verdict.accepted
+        assert "not registered" in verdict.reason
+
+    def test_membership_checked_before_rov(self):
+        verdict = self.server.evaluate(77, Announcement(_p("12.0.0.0/16"), 99))
+        assert verdict.reason == "not a member"
+
+    def test_default_rov_none_matches_historical_behaviour(self):
+        plain = RouteServer(make_registry(), members=(10, 30))
+        hijack = Announcement(_p("12.0.0.0/16"), 99)
+        verdict = plain.evaluate(10, hijack)
+        assert not verdict.accepted
+        assert verdict.reason.startswith("origin AS99")
+
+
+class TestTransparentRouteServer:
+    """``irr_filtering=False``: the pre-filtering baseline."""
+
+    def test_members_reflected_unfiltered(self):
+        server = RouteServer(
+            make_registry(), members=(10, 30), irr_filtering=False
+        )
+        # Even an unregistered prefix with a foreign origin goes through.
+        verdict = server.evaluate(10, Announcement(_p("99.0.0.0/8"), 99))
+        assert verdict.accepted
+        assert verdict.reason == "transparent"
+
+    def test_non_members_still_rejected(self):
+        server = RouteServer(
+            make_registry(), members=(10, 30), irr_filtering=False
+        )
+        verdict = server.evaluate(77, Announcement(_p("12.0.0.0/16"), 10))
+        assert not verdict.accepted
+        assert verdict.reason == "not a member"
+
+    def test_rov_applies_even_when_transparent(self):
+        rov = ROVValidator([VRP(_p("12.0.0.0/16"), 10, 16, RIR.ARIN)])
+        server = RouteServer(
+            make_registry(), members=(10, 30), rov=rov, irr_filtering=False
+        )
+        hijack = server.evaluate(10, Announcement(_p("12.0.0.0/16"), 99))
+        assert not hijack.accepted
+        assert hijack.reason == "RPKI invalid_asn"
+        legit = server.evaluate(10, Announcement(_p("12.0.0.0/16"), 10))
+        assert legit.accepted
+        assert legit.reason == "transparent"
 
 
 class TestRouteServerOnWorld:

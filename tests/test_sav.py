@@ -1,0 +1,190 @@
+"""Tests for MANRS Action 2 (SAV) modelling and the Spoofer campaign.
+
+Pins the pre-existing ``assign_sav_deployment`` / ``run_spoofer_campaign``
+semantics, the draw-stream decorrelation between the two, and the new
+Action 2 verdict helpers plus their readiness wiring.
+"""
+
+from __future__ import annotations
+
+from datetime import date
+
+from repro.core.readiness import (
+    check_readiness,
+    readiness_as_dict,
+    render_readiness,
+)
+from repro.manrs.actions import Program
+from repro.manrs.sav import (
+    SpooferCampaign,
+    SpooferResult,
+    assign_sav_deployment,
+    is_action2_conformant,
+    is_action2_mandatory,
+    run_spoofer_campaign,
+)
+
+
+class TestAssignSavDeployment:
+    def test_covers_every_asn(self, small_world):
+        truth = assign_sav_deployment(small_world, seed=5)
+        assert set(truth) == set(small_world.topology.asns)
+
+    def test_rate_near_default(self, small_world):
+        truth = assign_sav_deployment(small_world, seed=5)
+        rate = sum(truth.values()) / len(truth)
+        assert 0.2 < rate < 0.4
+
+    def test_deterministic_per_seed(self, small_world):
+        assert assign_sav_deployment(small_world, seed=5) == (
+            assign_sav_deployment(small_world, seed=5)
+        )
+        assert assign_sav_deployment(small_world, seed=5) != (
+            assign_sav_deployment(small_world, seed=6)
+        )
+
+    def test_rate_knob(self, small_world):
+        truth = assign_sav_deployment(small_world, seed=5, rate=0.0)
+        assert not any(truth.values())
+
+    def test_independent_of_membership(self, small_world):
+        """The Luckie et al. null result: members deploy SAV no more
+        than non-members (rates within a loose band of each other)."""
+        truth = assign_sav_deployment(small_world, seed=5)
+        members = small_world.members()
+        member_rate = sum(
+            truth[a] for a in truth if a in members
+        ) / max(1, sum(1 for a in truth if a in members))
+        other_rate = sum(
+            truth[a] for a in truth if a not in members
+        ) / max(1, sum(1 for a in truth if a not in members))
+        assert abs(member_rate - other_rate) < 0.25
+
+
+class TestSpooferCampaign:
+    def test_coverage_near_test_probability(self, small_world):
+        truth = assign_sav_deployment(small_world, seed=5)
+        campaign = run_spoofer_campaign(small_world, truth, seed=5)
+        fraction = len(campaign.results) / len(small_world.topology.asns)
+        assert 0.15 < fraction < 0.35
+
+    def test_results_reflect_ground_truth(self, small_world):
+        truth = assign_sav_deployment(small_world, seed=5)
+        campaign = run_spoofer_campaign(small_world, truth, seed=5)
+        assert campaign.results
+        for result in campaign.results:
+            assert result.blocks_spoofing == truth[result.asn]
+            assert result.tested_on == small_world.snapshot_date
+
+    def test_draw_streams_decorrelated_from_assignment(self, small_world):
+        """Sharing a raw seed with ``assign_sav_deployment`` used to
+        test exactly the networks whose deployment draw fell below the
+        test probability — a campaign that only ever found deployers.
+        The campaign must recover roughly the true rate instead."""
+        truth = assign_sav_deployment(small_world, seed=0)
+        campaign = run_spoofer_campaign(small_world, truth, seed=0)
+        measured = campaign.deployment_rate()
+        assert 0.15 < measured < 0.45
+
+    def test_deployment_rate_restricted_population(self):
+        today = date(2021, 5, 1)
+        campaign = SpooferCampaign(
+            results=[
+                SpooferResult(1, True, today),
+                SpooferResult(2, False, today),
+                SpooferResult(3, True, today),
+            ]
+        )
+        assert campaign.deployment_rate() == 2 / 3
+        assert campaign.deployment_rate(frozenset({1, 2})) == 0.5
+        assert campaign.deployment_rate(frozenset({99})) == 0.0
+        assert campaign.tested_count() == 3
+        assert campaign.tested_count(frozenset({1, 99})) == 1
+
+
+class TestAction2Verdicts:
+    today = date(2021, 5, 1)
+
+    def test_untested_network_is_none(self):
+        campaign = SpooferCampaign(
+            results=[SpooferResult(1, True, self.today)]
+        )
+        assert is_action2_conformant(2, campaign) is None
+
+    def test_all_runs_blocking_passes(self):
+        campaign = SpooferCampaign(
+            results=[
+                SpooferResult(1, True, self.today),
+                SpooferResult(1, True, self.today),
+            ]
+        )
+        assert is_action2_conformant(1, campaign) is True
+
+    def test_any_leaking_run_fails(self):
+        # MANRS asks for SAV on all edges: one escaping run fails.
+        campaign = SpooferCampaign(
+            results=[
+                SpooferResult(1, True, self.today),
+                SpooferResult(1, False, self.today),
+            ]
+        )
+        assert is_action2_conformant(1, campaign) is False
+
+    def test_mandatory_per_program_catalogue(self):
+        # The ISP program lists Action 2 but does not mandate it; the
+        # CDN program does (per the ACTIONS catalogue).
+        assert is_action2_mandatory(Program.ISP) is False
+        assert is_action2_mandatory(Program.CDN) is True
+
+
+class TestReadinessSpooferWiring:
+    def _asn(self, world) -> int:
+        return world.topology.asns[0]
+
+    def test_default_output_unchanged_without_spoofer(self, small_world):
+        report = check_readiness(small_world, self._asn(small_world))
+        assert report.action2_ok is None
+        assert "action2" not in readiness_as_dict(report)
+        assert "Action 2" not in render_readiness(report)
+
+    def test_failing_evidence_is_advisory_for_isp(self, small_world):
+        asn = self._asn(small_world)
+        campaign = SpooferCampaign(
+            results=[SpooferResult(asn, False, small_world.snapshot_date)]
+        )
+        baseline = check_readiness(small_world, asn)
+        report = check_readiness(small_world, asn, spoofer=campaign)
+        assert report.action2_ok is False
+        assert report.action2_required is False
+        # Advisory: the verdict is reported but does not flip readiness.
+        assert report.ready == baseline.ready
+        assert any(
+            "advisory for this program" in blocker
+            for blocker in report.blockers
+        )
+        document = readiness_as_dict(report)
+        assert document["action2"] == {"ok": False, "required": False}
+        assert "Action 2 (SAV):         FAIL [advisory]" in (
+            render_readiness(report)
+        )
+
+    def test_failing_evidence_blocks_when_mandatory(self, small_world):
+        asn = self._asn(small_world)
+        campaign = SpooferCampaign(
+            results=[SpooferResult(asn, False, small_world.snapshot_date)]
+        )
+        report = check_readiness(
+            small_world, asn, program=Program.CDN, spoofer=campaign
+        )
+        assert report.action2_required is True
+        assert report.action2_ok is False
+        assert report.ready is False
+
+    def test_passing_evidence_reported(self, small_world):
+        asn = self._asn(small_world)
+        campaign = SpooferCampaign(
+            results=[SpooferResult(asn, True, small_world.snapshot_date)]
+        )
+        report = check_readiness(small_world, asn, spoofer=campaign)
+        assert report.action2_ok is True
+        assert "Action 2 (SAV):         pass" in render_readiness(report)
