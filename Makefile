@@ -10,7 +10,7 @@ SCALE ?= 1.0
 LABEL ?= local
 SMOKE_BUDGET ?= 120
 
-.PHONY: test lint bench bench-pytest bench-smoke bench-compare profile smoke-profile trace-smoke sweep-smoke scale-smoke serve-smoke delta-smoke scenarios-smoke
+.PHONY: test lint bench bench-baseline bench-pytest bench-smoke bench-compare build-smoke profile smoke-profile trace-smoke sweep-smoke scale-smoke serve-smoke delta-smoke scenarios-smoke
 
 ## Tier-1 test suite (unit + integration + equivalence).
 test:
@@ -51,6 +51,22 @@ bench-smoke:
 ## and to its own checkpoint re-opened mmap'd and eagerly.
 scale-smoke:
 	$(PYTHON) scripts/check_shard_parity.py --scale 0.5 --shards 2 --jobs 2
+
+## Spill-path tripwire: a small sharded build under a tiny
+## REPRO_BUILD_BUDGET_MB (forcing the column accumulators to spill to
+## scratch files) must be digest-identical to the unbudgeted build in
+## both kernel modes, and must actually have spilled.
+build-smoke:
+	$(PYTHON) scripts/check_build_budget.py --scale 0.3 --shards 2 --jobs 2 \
+		--budget-mb 0.05
+
+## Regenerate benchmarks/BASELINE.json from a trusted local run.
+## Refuses to overwrite the committed baseline when world digests
+## drifted; acknowledge an intentional world change with
+## BASELINE_FLAGS=--expect-digest-change.
+BASELINE_FLAGS ?=
+bench-baseline:
+	$(PYTHON) scripts/refresh_baseline.py $(BASELINE_FLAGS)
 
 ## Perf gate: one quick benchmark run compared against the committed
 ## baseline.  COMPARE_MODE=all (default) exits 3 on >25% regression or

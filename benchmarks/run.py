@@ -63,6 +63,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import statistics
 import subprocess
@@ -517,7 +518,13 @@ def run_scale_point(
     from repro.scenario.config import ScenarioConfig
 
     store = CheckpointStore(store_dir)
+    stage_rss: dict[str, float] | None = None
+    spill: dict[str, float] | None = None
+    budget_env = os.environ.get("REPRO_BUILD_BUDGET_MB")
     if mode == "cold":
+        # Stamp every span close with the high-water RSS so the point
+        # reports per-stage peaks, not just the whole-process number.
+        os.environ["REPRO_SPAN_RSS"] = "1"
         start = time.perf_counter()
         world = build_world(scale=scale, seed=seed, jobs=jobs, shards=shards)
         seconds = time.perf_counter() - start
@@ -525,6 +532,28 @@ def run_scale_point(
         start = time.perf_counter()
         store.save(world)
         save_seconds = time.perf_counter() - start
+        os.environ.pop("REPRO_SPAN_RSS", None)
+        counters = obs.counters()
+        spill = {
+            name: counters[name]
+            for name in (
+                "build.spill.blocks",
+                "build.spill.bytes",
+                "build.spill.files",
+                "hegemony.partitions",
+            )
+            if name in counters
+        }
+        stage_rss = {}
+        for root in obs.root_spans():
+            for node in _walk_spans(root):
+                rss = node.attrs.get("rss_mb")
+                if rss is not None and (
+                    node.name.startswith("build.")
+                    or node.name == "checkpoint.save"
+                ):
+                    # High-water RSS is monotone; the last close wins.
+                    stage_rss[node.name] = rss
     else:
         load_mode = "columnar" if mode == "warm-lazy" else "eager"
         start = time.perf_counter()
@@ -553,18 +582,39 @@ def run_scale_point(
     }
     if save_seconds is not None:
         point["save_seconds"] = save_seconds
+    if stage_rss:
+        # Per-stage high-water RSS at each build span's close: the
+        # increase between consecutive stages attributes peak growth.
+        point["peak_rss_mb_stages"] = stage_rss
+    if mode == "cold" and budget_env is not None:
+        point["build_budget_mb"] = float(budget_env)
+    if spill:
+        point["spill"] = spill
     print(json.dumps(point))
     return 0
 
 
+def _walk_spans(root):
+    yield root
+    for child in root.children:
+        yield from _walk_spans(child)
+
+
 def run_scale_sweep(
-    scales: list[float], seed: int, jobs: int | None, shards: int | None
+    scales: list[float],
+    seed: int,
+    jobs: int | None,
+    shards: int | None,
+    build_budget_mb: float | None = None,
 ) -> list[dict]:
     """Cold build vs warm mmap/eager load, one fresh subprocess each.
 
     Returns one row per scale: wall time and peak RSS for the cold
     sharded build, the memory-mapped columnar load, and the eager load,
-    plus a three-way digest-equality verdict.
+    plus a three-way digest-equality verdict.  ``build_budget_mb`` caps
+    the cold leg's buffered build columns (``REPRO_BUILD_BUDGET_MB``),
+    so the sweep exercises — and its digest verdict covers — the
+    spill-to-disk out-of-core build path.
     """
     import tempfile
 
@@ -586,7 +636,13 @@ def run_scale_sweep(
                     cmd += ["--jobs", str(jobs)]
                 if shards is not None:
                     cmd += ["--shards", str(shards)]
-                proc = subprocess.run(cmd, capture_output=True, text=True)
+                env = dict(os.environ)
+                env.pop("REPRO_BUILD_BUDGET_MB", None)
+                if mode == "cold" and build_budget_mb is not None:
+                    env["REPRO_BUILD_BUDGET_MB"] = str(build_budget_mb)
+                proc = subprocess.run(
+                    cmd, capture_output=True, text=True, env=env
+                )
                 if proc.returncode != 0:
                     raise RuntimeError(
                         f"scale point {scale}/{mode} failed:\n{proc.stderr}"
@@ -749,6 +805,30 @@ def main(argv: list[str] | None = None) -> int:
         "'digests' prints timing regressions as warnings and exits 3 on "
         "digest drift only (the CI setting)",
     )
+    parser.add_argument(
+        "--sweep-jobs",
+        type=int,
+        default=None,
+        help="worker processes for the --scale-sweep legs only "
+        "(default: --jobs); lets serial round timings coexist with a "
+        "sharded sweep on few-core hosts",
+    )
+    parser.add_argument(
+        "--sweep-shards",
+        type=int,
+        default=None,
+        help="column shards for the --scale-sweep legs only "
+        "(default: --shards)",
+    )
+    parser.add_argument(
+        "--build-budget-mb",
+        type=float,
+        default=None,
+        metavar="MB",
+        help="REPRO_BUILD_BUDGET_MB for the cold legs of --scale-sweep: "
+        "sharded build stages spill column blocks to scratch files past "
+        "this byte budget (default: unset, all in memory)",
+    )
     # Internal: one subprocess-measured point of --scale-sweep.
     parser.add_argument("--scale-point", type=float, help=argparse.SUPPRESS)
     parser.add_argument(
@@ -879,7 +959,15 @@ def main(argv: list[str] | None = None) -> int:
     # Scale-sweep points run in fresh subprocesses, so ordering versus
     # the in-process phases does not contaminate their RSS readings.
     scale_sweep = (
-        run_scale_sweep(args.scale_sweep, args.seed, args.jobs, args.shards)
+        run_scale_sweep(
+            args.scale_sweep,
+            args.seed,
+            args.sweep_jobs if args.sweep_jobs is not None else args.jobs,
+            args.sweep_shards
+            if args.sweep_shards is not None
+            else args.shards,
+            build_budget_mb=args.build_budget_mb,
+        )
         if args.scale_sweep
         else None
     )

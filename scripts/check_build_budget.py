@@ -1,0 +1,113 @@
+"""Build-budget smoke: spill-to-disk builds change nothing.
+
+Builds the same (scale, seed) world twice per kernel mode — once
+unbudgeted and serial, once sharded under a deliberately tiny
+``REPRO_BUILD_BUDGET_MB`` so every sharded stage's column accumulator
+is forced to spill completed blocks to its scratch file — and fails
+unless the two worlds hash to the same digest.  The budgeted leg must
+actually have spilled (``build.spill.blocks`` observed non-zero),
+otherwise the run silently tested nothing.  This is the CI gate behind
+``make build-smoke``.
+
+Usage::
+
+    PYTHONPATH=src python scripts/check_build_budget.py --scale 0.3 \
+        --shards 2 --jobs 2 --budget-mb 0.05
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.datasets.checkpoint import world_digest  # noqa: E402
+from repro.obs import metrics  # noqa: E402
+from repro.scenario.build import _build_world  # noqa: E402
+
+#: Environment knobs this smoke owns for the duration of the run.
+_OWNED = ("REPRO_KERNELS", "REPRO_BUILD_BUDGET_MB")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=0.3)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--shards", type=int, default=2)
+    parser.add_argument("--jobs", type=int, default=2)
+    parser.add_argument(
+        "--budget-mb",
+        type=float,
+        default=0.05,
+        help="tiny byte budget that forces every accumulator to spill",
+    )
+    args = parser.parse_args(argv)
+
+    previous = {name: os.environ.get(name) for name in _OWNED}
+    failures: list[str] = []
+    try:
+        for mode in ("python", "numpy"):
+            os.environ["REPRO_KERNELS"] = mode
+
+            os.environ.pop("REPRO_BUILD_BUDGET_MB", None)
+            start = time.perf_counter()
+            plain = _build_world(
+                args.scale, args.seed, None, None, None, None, 1
+            )
+            plain_seconds = time.perf_counter() - start
+            plain_digest = world_digest(plain)
+            del plain
+
+            os.environ["REPRO_BUILD_BUDGET_MB"] = str(args.budget_mb)
+            before = metrics.counters().get("build.spill.blocks", 0)
+            start = time.perf_counter()
+            budgeted = _build_world(
+                args.scale, args.seed, None, None, None,
+                args.jobs, args.shards,
+            )
+            budgeted_seconds = time.perf_counter() - start
+            budgeted_digest = world_digest(budgeted)
+            del budgeted
+            spilled = metrics.counters().get("build.spill.blocks", 0) - before
+
+            print(
+                f"{mode}: plain {plain_seconds:.3f}s "
+                f"digest={plain_digest[:16]}… | budgeted "
+                f"{budgeted_seconds:.3f}s digest={budgeted_digest[:16]}… "
+                f"({spilled} blocks spilled)",
+                file=sys.stderr,
+            )
+            if budgeted_digest != plain_digest:
+                failures.append(
+                    f"{mode}: budgeted build diverged\n"
+                    f"  plain:    {plain_digest}\n"
+                    f"  budgeted: {budgeted_digest}"
+                )
+            if spilled <= 0:
+                failures.append(
+                    f"{mode}: budget {args.budget_mb}MB never spilled — "
+                    "the smoke exercised nothing; lower --budget-mb"
+                )
+    finally:
+        for name, value in previous.items():
+            if value is None:
+                os.environ.pop(name, None)
+            else:
+                os.environ[name] = value
+
+    if failures:
+        print("BUILD BUDGET FAIL:\n" + "\n".join(failures), file=sys.stderr)
+        return 1
+    print(
+        f"build budget OK at scale {args.scale} seed {args.seed} "
+        f"({args.shards} shards under {args.budget_mb}MB)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

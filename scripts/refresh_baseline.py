@@ -1,0 +1,116 @@
+#!/usr/bin/env python
+"""Regenerate ``benchmarks/BASELINE.json`` from a trusted local run.
+
+The committed baseline is what ``make bench-compare`` (and the CI
+digest gate) measures against, so refreshing it is a deliberate act:
+this script re-runs the exact benchmark configuration the baseline was
+recorded with, then *refuses to overwrite* the committed file if any
+world digest drifted from the old baseline — digest drift means the
+code now builds a different world, which is a correctness question, not
+a performance one.  After an intentional world change (new stage, new
+golden set), pass ``--expect-digest-change`` to acknowledge the drift
+explicitly; the refusal is a guard against accidentally laundering a
+digest regression into the baseline alongside a timing refresh.
+
+Self-inconsistency in the *new* run (a cold/warm or cold/lazy/eager
+digest mismatch within the run itself) always blocks the refresh and
+cannot be overridden: a baseline that disagrees with itself is never
+trustworthy.
+
+Usage::
+
+    PYTHONPATH=src python scripts/refresh_baseline.py
+    PYTHONPATH=src python scripts/refresh_baseline.py --expect-digest-change
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.bench import split_compare_problems  # noqa: E402
+
+BASELINE_PATH = REPO_ROOT / "benchmarks" / "BASELINE.json"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--expect-digest-change",
+        action="store_true",
+        help="allow the new baseline's world digests to differ from the "
+        "committed baseline (required after an intentional world change)",
+    )
+    parser.add_argument(
+        "--rounds", type=int, default=None, help="override the round count"
+    )
+    args = parser.parse_args(argv)
+
+    if not BASELINE_PATH.exists():
+        print(f"refresh-baseline: no committed baseline at {BASELINE_PATH}")
+        return 2
+    old = json.loads(BASELINE_PATH.read_text())
+    rounds = args.rounds if args.rounds is not None else old.get("rounds", 3)
+    scale = old.get("scale", 0.3)
+    seed = old.get("seed", 7)
+
+    with tempfile.TemporaryDirectory(prefix="repro-baseline-") as tmp:
+        command = [
+            sys.executable,
+            str(REPO_ROOT / "benchmarks" / "run.py"),
+            "--label", "BASELINE",
+            "--scale", str(scale),
+            "--seed", str(seed),
+            "--rounds", str(rounds),
+            "--scale-sweep", str(scale),
+            "--output-dir", tmp,
+        ]
+        print("refresh-baseline: running", " ".join(command[1:]))
+        result = subprocess.run(command, cwd=REPO_ROOT)
+        if result.returncode != 0:
+            print(
+                "refresh-baseline: benchmark run failed "
+                f"(exit {result.returncode}); baseline untouched"
+            )
+            return result.returncode
+        new = json.loads((Path(tmp) / "BENCH_BASELINE.json").read_text())
+
+    # Self-inconsistency (digest_equal flags inside the new run) is
+    # never overridable; drift *from the old baseline* is, because an
+    # intentional world change legitimately moves the digests.
+    self_problems, _ = split_compare_problems(new, {}, threshold=0.25)
+    if self_problems:
+        print("refresh-baseline: new run is self-inconsistent; refusing:")
+        for problem in self_problems:
+            print(f"  - {problem}")
+        return 3
+    drift, _ = split_compare_problems(new, old, threshold=0.25)
+    drift = [problem for problem in drift if problem not in self_problems]
+    if drift and not args.expect_digest_change:
+        print(
+            "refresh-baseline: world digests drifted from the committed "
+            "baseline; refusing to refresh.  If the drift is an intended "
+            "world change, re-run with --expect-digest-change."
+        )
+        for problem in drift:
+            print(f"  - {problem}")
+        return 3
+    if drift:
+        print("refresh-baseline: accepting acknowledged digest change:")
+        for problem in drift:
+            print(f"  - {problem}")
+
+    BASELINE_PATH.write_text(json.dumps(new, indent=2) + "\n")
+    print(f"refresh-baseline: wrote {BASELINE_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

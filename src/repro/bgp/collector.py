@@ -40,8 +40,11 @@ from repro.bgp.policy import RouteClass
 from repro.bgp.propagation import PropagationEngine
 from repro.net.prefix import Prefix
 from repro.shard import (
+    ColumnAccumulator,
+    SpillError,
     check_shard_manifests,
-    pool_map,
+    pool_map_consume,
+    resolve_build_budget,
     resolve_shards,
     shard_manifest,
     split_evenly,
@@ -342,44 +345,71 @@ def _sharded_paths(
     total = len(chunks)
     tasks = [(index, total, tuple(chunk)) for index, chunk in enumerate(chunks)]
     obs.add("collect.vp_shards", total)
-    results = pool_map(
-        _propagate_vp_shard,
-        tasks,
-        workers=max(jobs, 1),
-        initializer=_init_shard_worker,
-        initargs=(engine, keys),
-    )
-    if results is None:
-        return None
-    problems = check_shard_manifests(
-        [manifest for manifest, _ in results], "collect_rib", total
-    )
-    if not problems:
-        for manifest, columns in results:
-            if int(columns["key_offsets"][-1]) != manifest["rows"]:
-                problems.append(
-                    f"shard {manifest['shard']}: row accounting mismatch"
+    manifests: list[dict] = []
+    rows_seen: list[int] = []
+    try:
+        with ColumnAccumulator(
+            "collect_rib", budget_bytes=resolve_build_budget()
+        ) as accumulator:
+
+            def consume(result: tuple[dict, dict[str, np.ndarray]]) -> None:
+                manifest, columns = result
+                manifests.append(manifest)
+                # Row accounting is captured on arrival, before the block
+                # may spill, so validation never forces a read-back.
+                rows_seen.append(int(columns["key_offsets"][-1]))
+                accumulator.append(columns)
+
+            ok = pool_map_consume(
+                _propagate_vp_shard,
+                tasks,
+                workers=max(jobs, 1),
+                consume=consume,
+                initializer=_init_shard_worker,
+                initargs=(engine, keys),
+            )
+            if not ok:
+                return None
+            problems = check_shard_manifests(manifests, "collect_rib", total)
+            if not problems:
+                for manifest, rows in zip(manifests, rows_seen):
+                    if rows != manifest["rows"]:
+                        problems.append(
+                            f"shard {manifest['shard']}: "
+                            "row accounting mismatch"
+                        )
+            if problems:
+                log.warning(
+                    "discarding sharded collection (%s); "
+                    "recomputing unsharded",
+                    "; ".join(problems),
                 )
-    if problems:
+                obs.add("shard.discarded")
+                return None
+            paths_by_key: list[dict[int, tuple[int, ...]]] = [{} for _ in keys]
+            # Ascending shard index == vp order; one block resident at a
+            # time, so spilled shards never re-accumulate in memory.
+            for columns in accumulator.blocks():
+                vp_ids = columns["vp"].tolist()
+                key_offsets = columns["key_offsets"].tolist()
+                path_values = columns["path_values"].tolist()
+                path_offsets = columns["path_offsets"].tolist()
+                for slot in range(len(keys)):
+                    merged = paths_by_key[slot]
+                    for entry in range(key_offsets[slot], key_offsets[slot + 1]):
+                        merged[vp_ids[entry]] = tuple(
+                            path_values[
+                                path_offsets[entry] : path_offsets[entry + 1]
+                            ]
+                        )
+            return paths_by_key
+    except SpillError as error:
         log.warning(
             "discarding sharded collection (%s); recomputing unsharded",
-            "; ".join(problems),
+            error,
         )
         obs.add("shard.discarded")
         return None
-    paths_by_key: list[dict[int, tuple[int, ...]]] = [{} for _ in keys]
-    for _, columns in results:  # ascending shard index == vp order
-        vp_ids = columns["vp"].tolist()
-        key_offsets = columns["key_offsets"].tolist()
-        path_values = columns["path_values"].tolist()
-        path_offsets = columns["path_offsets"].tolist()
-        for slot in range(len(keys)):
-            merged = paths_by_key[slot]
-            for entry in range(key_offsets[slot], key_offsets[slot + 1]):
-                merged[vp_ids[entry]] = tuple(
-                    path_values[path_offsets[entry] : path_offsets[entry + 1]]
-                )
-    return paths_by_key
 
 
 def _parallel_paths(

@@ -72,6 +72,7 @@ ENV_VARS: Mapping[str, str] = {
     "cache_dir": "REPRO_CACHE_DIR",
     "world_cache_size": "REPRO_WORLD_CACHE_SIZE",
     "paths_cache": "REPRO_PATHS_CACHE",
+    "build_budget_mb": "REPRO_BUILD_BUDGET_MB",
 }
 
 
@@ -100,6 +101,10 @@ class RuntimeConfig:
     world_cache_size: int = 4
     #: Pinned propagation path-cache size; None lets collection size it.
     paths_cache: int | None = None
+    #: Byte budget (in MB) for buffered build columns before sharded
+    #: stages spill completed blocks to a scratch file; None keeps
+    #: everything in memory (the historical behaviour).
+    build_budget_mb: float | None = None
 
     def __post_init__(self) -> None:
         if self.kernels not in KERNEL_MODES:
@@ -114,6 +119,8 @@ class RuntimeConfig:
             )
         if self.world_cache_size < 1:
             raise ValueError("world_cache_size must be >= 1")
+        if self.build_budget_mb is not None and self.build_budget_mb < 0:
+            raise ValueError("build_budget_mb must be >= 0 (or None)")
 
     # -- construction --------------------------------------------------------
 
@@ -184,6 +191,20 @@ class RuntimeConfig:
                 values["paths_cache"] = int(raw)
             except ValueError:
                 pass
+
+        raw = env.get(ENV_VARS["build_budget_mb"], "").strip()
+        if raw:
+            try:
+                budget = float(raw)
+            except ValueError:
+                log.warning(
+                    "%s=%r is non-numeric; build stays in memory",
+                    ENV_VARS["build_budget_mb"],
+                    raw,
+                )
+            else:
+                if budget >= 0:
+                    values["build_budget_mb"] = budget
 
         return cls(**values)
 

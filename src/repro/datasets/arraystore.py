@@ -33,7 +33,7 @@ import numpy as np
 from repro import config as _config
 from repro import obs
 
-__all__ = ["ColumnSet", "mmap_enabled", "open_columns"]
+__all__ = ["ColumnSet", "ColumnWriter", "mmap_enabled", "open_columns"]
 
 log = logging.getLogger(__name__)
 
@@ -110,6 +110,61 @@ class ColumnSet:
         if self._handle is not None:
             self._handle.close()
             self._handle = None
+
+
+class ColumnWriter:
+    """Streaming writer for the uncompressed ``arrays.npz`` layout.
+
+    Appends one named column at a time to a ``ZIP_STORED`` archive using
+    the same member layout ``np.savez`` produces (``.npy`` members with
+    v1/v2 headers, no compression, local headers patched in place on a
+    seekable file — no data descriptors), so the finished archive is
+    byte-for-byte the shape :func:`_member_layout` maps.  The point is
+    save-side memory: the checkpoint writer streams each stage's columns
+    into the archive and releases them before the next stage's arrays
+    are even built, instead of holding every stage alive for one big
+    ``np.savez`` call at the end.
+    """
+
+    def __init__(self, path: str | Path):
+        self._path = Path(path)
+        self._archive = zipfile.ZipFile(
+            self._path, mode="w", compression=zipfile.ZIP_STORED
+        )
+        self._names: set[str] = set()
+
+    def __enter__(self) -> "ColumnWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def write(self, name: str, array: np.ndarray) -> None:
+        """Append one column; the array can be released by the caller
+        as soon as this returns."""
+        if self._archive is None:
+            raise ValueError(f"{self._path}: writer is closed")
+        array = np.asarray(array)
+        if array.dtype.hasobject:
+            raise ValueError(f"{name}: object dtype cannot be stored")
+        if name in self._names:
+            raise ValueError(f"{name}: duplicate column")
+        self._names.add(name)
+        with self._archive.open(
+            name + ".npy", "w", force_zip64=True
+        ) as member:
+            np.lib.format.write_array(member, array, allow_pickle=False)
+        obs.add("columns.streamed")
+
+    def write_all(self, arrays: dict[str, np.ndarray]) -> None:
+        """Append every column of one stage, in dict order."""
+        for name, array in arrays.items():
+            self.write(name, array)
+
+    def close(self) -> None:
+        if self._archive is not None:
+            self._archive.close()
+            self._archive = None
 
 
 def _member_layout(path: Path) -> dict[str, tuple]:

@@ -42,6 +42,8 @@ import logging
 import os
 import shutil
 import time
+from array import array as _packed_array
+from itertools import chain
 from dataclasses import dataclass
 from datetime import date
 from enum import Enum
@@ -55,6 +57,7 @@ from repro.bgp.collector import RibSnapshot, RouteGroup
 from repro.bgp.policy import RouteClass
 from repro.bgp.propagation import PropagationEngine
 from repro.bgp.table import Prefix2AS
+from repro.datasets.arraystore import ColumnWriter
 from repro.datasets.store import (
     PARTICIPANTS_FILE,
     RELATIONSHIPS_FILE,
@@ -238,6 +241,28 @@ def _sha256_bytes(blob: bytes) -> str:
     return hashlib.sha256(blob).hexdigest()
 
 
+def _sha256_chunks(chunks) -> str:
+    """Digest a stream of text pieces: identical to hashing the joined
+    string (UTF-8 encoding concatenates chunk-wise) without holding it."""
+    digest = hashlib.sha256()
+    for chunk in chunks:
+        digest.update(chunk.encode())
+    return digest.hexdigest()
+
+
+def _sha256_file(path: Path, chunk_bytes: int = 1 << 20) -> str:
+    """Chunked file digest: identical to ``_sha256_bytes(read_bytes())``
+    without ever buffering the whole file (arrays.npz is the world)."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        while True:
+            chunk = handle.read(chunk_bytes)
+            if not chunk:
+                break
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
 # -- exact (order-preserving) payloads for the derived structures -----------
 
 
@@ -272,6 +297,131 @@ def _rib_payload(rib: RibSnapshot) -> dict:
         "path_table": path_table,
         "groups": groups,
     }
+
+
+def _json_array_chunks(batches):
+    """Render a JSON array from batches of items, one chunk per batch.
+
+    Each batch is dumped in one C-speed ``json.dumps`` call and the
+    outer brackets stripped, so the emitted text is byte-identical to
+    dumping the whole array at once while only one batch of rendered
+    text is ever resident.  Empty batches are skipped (an all-empty
+    stream renders ``[]``).
+    """
+    yield "["
+    first = True
+    for items in batches:
+        if not items:
+            continue
+        text = json.dumps(items, **_JSON_COMPACT)[1:-1]
+        yield text if first else "," + text
+        first = False
+    yield "]"
+
+
+def _repeated_path_hashes(rib: RibSnapshot) -> set[int]:
+    """Hash values shared by more than one path reference in the RIB.
+
+    One sorted int64 array over every reference finds them; the array is
+    transient.  The set is a superset of the *duplicated paths* (it also
+    catches the astronomically rare accidental 64-bit collision between
+    distinct paths, which is harmless: flagged paths merely take the
+    exact dict route in :func:`_rib_payload_chunks`).
+    """
+    total = sum(len(group.paths) for group in rib.groups)
+    hashes = np.fromiter(
+        (
+            hash(path)
+            for group in rib.groups
+            for path in group.paths.values()
+        ),
+        dtype=np.int64,
+        count=total,
+    )
+    hashes.sort()
+    repeats = hashes[1:][hashes[1:] == hashes[:-1]]
+    return set(np.unique(repeats).tolist())
+
+
+def _rib_payload_chunks(rib: RibSnapshot, batch: int = 16384):
+    """Yield ``json.dumps(_rib_payload(rib), **_JSON_COMPACT)`` in pieces.
+
+    The RIB payload text is the largest digest input (tens of MB at
+    scale), and materialising the payload object graph plus its full
+    JSON rendering doubled the digest-time working set.  This generator
+    emits the byte-identical text in bounded batches of path-table
+    entries / groups so the hash can stream.
+
+    The payload numbers distinct paths in first-occurrence order, which
+    naively needs a tuple-keyed dict spanning every distinct path — at
+    scale that dict alone rivals the save-time savings.  But ~96% of
+    paths occur exactly once, so their table index is just a running
+    counter: only paths whose hash occurs more than once (found up
+    front by :func:`_repeated_path_hashes`) go through an exact dict,
+    and the per-reference indices are carried to the second pass in a
+    packed int array.  Identity with :func:`_rib_payload` is pinned by
+    tests (including a forced-duplicate one).
+    """
+    repeated = _repeated_path_hashes(rib)
+    ref_index = _packed_array("q")
+    shared_index: dict[tuple[int, ...], int] = {}
+
+    def path_batches():
+        pending = []
+        next_index = 0
+        for group in rib.groups:
+            for path in group.paths.values():
+                if hash(path) in repeated:
+                    index = shared_index.get(path)
+                    if index is None:
+                        index = next_index
+                        next_index += 1
+                        shared_index[path] = index
+                        pending.append(list(path))
+                else:
+                    index = next_index
+                    next_index += 1
+                    pending.append(list(path))
+                ref_index.append(index)
+                if len(pending) >= batch:
+                    yield pending
+                    pending = []
+        yield pending
+
+    def group_batches():
+        pending = []
+        pos = 0
+        for group in rib.groups:
+            k = len(group.paths)
+            pending.append(
+                {
+                    "origin": group.origin,
+                    "rpki_invalid": group.route_class.rpki_invalid,
+                    "irr_invalid": group.route_class.irr_invalid,
+                    "prefixes": [str(prefix) for prefix in group.prefixes],
+                    "paths": [
+                        list(pair)
+                        for pair in zip(
+                            group.paths.keys(),
+                            ref_index[pos:pos + k],
+                        )
+                    ],
+                }
+            )
+            pos += k
+            if len(pending) >= max(1, batch // 16):
+                yield pending
+                pending = []
+        yield pending
+
+    yield '{"vantage_points":'
+    yield json.dumps(list(rib.vantage_points), **_JSON_COMPACT)
+    yield ',"path_table":'
+    yield from _json_array_chunks(path_batches())
+    shared_index.clear()
+    yield ',"groups":'
+    yield from _json_array_chunks(group_batches())
+    yield "}"
 
 
 # The four possible route classes, shared across every rebuilt group.
@@ -357,44 +507,68 @@ def _rib_arrays(rib: RibSnapshot) -> tuple[dict, dict[str, np.ndarray]]:
     columns decode orders of magnitude faster than the equivalent JSON
     — the RIB is by far the largest derived structure, and its decode
     dominated warm-start time as JSON.
+
+    The path table stores one entry per reference (``rib_ref_path`` is
+    the identity): deduplicating repeated paths only removes ~4% of the
+    rows on real worlds but needs a tuple-keyed hash table spanning the
+    whole RIB, which at large scales cost hundreds of MB of save-time
+    RSS.  Rows stream straight into preallocated columns instead.
+    :func:`_rebuild_rib` indexes through ``rib_ref_path`` either way, so
+    entries written with the old deduplicated layout still load.
     """
-    path_index: dict[tuple[int, ...], int] = {}
-    path_values: list[int] = []
-    path_offsets = [0]
-    origins, rpki_flags, irr_flags = [], [], []
+    groups = rib.groups
+    n = len(groups)
+    origins = np.empty(n, dtype=np.int64)
+    rpki_flags = np.empty(n, dtype=np.bool_)
+    irr_flags = np.empty(n, dtype=np.bool_)
+    ref_offsets = np.zeros(n + 1, dtype=np.int64)
+    prefix_offsets = np.zeros(n + 1, dtype=np.int64)
+    for i, group in enumerate(groups):
+        origins[i] = group.origin
+        rpki_flags[i] = group.route_class.rpki_invalid
+        irr_flags[i] = group.route_class.irr_invalid
+        ref_offsets[i + 1] = len(group.paths)
+        prefix_offsets[i + 1] = len(group.prefixes)
+    np.cumsum(ref_offsets, out=ref_offsets)
+    np.cumsum(prefix_offsets, out=prefix_offsets)
+    total_refs = int(ref_offsets[-1])
+    ref_vp = np.empty(total_refs, dtype=np.int64)
+    # Inclusive cumsum over per-path lengths shifted one slot right
+    # turns the length buffer into the offsets column in place.
+    path_offsets = np.zeros(total_refs + 1, dtype=np.int64)
     prefixes: list[Prefix] = []
-    prefix_offsets = [0]
-    ref_vp: list[int] = []
-    ref_path: list[int] = []
-    ref_offsets = [0]
-    for group in rib.groups:
-        origins.append(group.origin)
-        rpki_flags.append(group.route_class.rpki_invalid)
-        irr_flags.append(group.route_class.irr_invalid)
+    pos = 0
+    for group in groups:
+        k = len(group.paths)
+        if k:
+            ref_vp[pos:pos + k] = list(group.paths.keys())
+            path_offsets[pos + 1:pos + 1 + k] = [
+                len(path) for path in group.paths.values()
+            ]
+            pos += k
         prefixes.extend(group.prefixes)
-        prefix_offsets.append(len(prefixes))
-        for vantage_point, path in group.paths.items():
-            index = path_index.get(path)
-            if index is None:
-                index = len(path_offsets) - 1
-                path_index[path] = index
-                path_values.extend(path)
-                path_offsets.append(len(path_values))
-            ref_vp.append(vantage_point)
-            ref_path.append(index)
-        ref_offsets.append(len(ref_vp))
+    np.cumsum(path_offsets, out=path_offsets)
+    path_values = np.fromiter(
+        chain.from_iterable(
+            chain.from_iterable(
+                group.paths.values() for group in groups
+            )
+        ),
+        dtype=np.int64,
+        count=int(path_offsets[-1]),
+    )
     meta = {"vantage_points": list(rib.vantage_points)}
     arrays = {
-        "rib_origin": _int_array(origins),
-        "rib_rpki_invalid": np.asarray(rpki_flags, dtype=np.bool_),
-        "rib_irr_invalid": np.asarray(irr_flags, dtype=np.bool_),
+        "rib_origin": origins,
+        "rib_rpki_invalid": rpki_flags,
+        "rib_irr_invalid": irr_flags,
         **_prefix_arrays("rib_prefix", prefixes),
-        "rib_prefix_offsets": _int_array(prefix_offsets),
-        "rib_path_values": _int_array(path_values),
-        "rib_path_offsets": _int_array(path_offsets),
-        "rib_ref_vp": _int_array(ref_vp),
-        "rib_ref_path": _int_array(ref_path),
-        "rib_ref_offsets": _int_array(ref_offsets),
+        "rib_prefix_offsets": prefix_offsets,
+        "rib_path_values": path_values,
+        "rib_path_offsets": path_offsets,
+        "rib_ref_vp": ref_vp,
+        "rib_ref_path": np.arange(total_refs, dtype=np.int64),
+        "rib_ref_offsets": ref_offsets,
     }
     return meta, arrays
 
@@ -402,8 +576,8 @@ def _rib_arrays(rib: RibSnapshot) -> tuple[dict, dict[str, np.ndarray]]:
 def _rebuild_rib(meta: dict, arrays) -> RibSnapshot:
     path_values = arrays["rib_path_values"].tolist()
     path_offsets = arrays["rib_path_offsets"].tolist()
-    # The path table is large (one entry per distinct (vantage point,
-    # group) path — half a million at full scale), so it is rebuilt with
+    # The path table is large (one entry per (vantage point, group)
+    # reference — a million-plus at full scale), so it is rebuilt with
     # map() over slice objects rather than an index-arithmetic loop.
     path_table = list(
         map(
@@ -1098,23 +1272,35 @@ def dataset_digests(world: World) -> dict[str, str]:
     export byte-identical files.  This is the identity the golden-digest
     suite pins and the warm-equals-cold tests assert.
     """
-    irr_dump = "".join(
-        f"% {database.name}\n"
-        + serialize_database(list(database.all_routes()))
-        for database in world.irr.databases
-    )
-    texts = {
-        "prefix2as": serialize_prefix2as_text(world),
-        "as2org": serialize_as2org(world.as2org),
-        "relationships": serialize_relationships(world.topology),
-        "vrps": serialize_vrps(world.rov.all_vrps(), world.snapshot_date),
-        "participants": serialize_participants(world.manrs),
-        "asrank": serialize_asrank(build_asrank(world.topology)),
-        "irr": irr_dump,
-        "rib": json.dumps(_rib_payload(world.rib), **_JSON_COMPACT),
-        "ihr": json.dumps(_ihr_payload(world.ihr), **_JSON_COMPACT),
+    # Each artifact is hashed as soon as it is rendered (the largest —
+    # the RIB — streams through _rib_payload_chunks without ever being
+    # rendered whole), so digesting never holds more than one
+    # serialisation resident at a time.
+    return {
+        "prefix2as": _sha256_text(serialize_prefix2as_text(world)),
+        "as2org": _sha256_text(serialize_as2org(world.as2org)),
+        "relationships": _sha256_text(
+            serialize_relationships(world.topology)
+        ),
+        "vrps": _sha256_text(
+            serialize_vrps(world.rov.all_vrps(), world.snapshot_date)
+        ),
+        "participants": _sha256_text(
+            serialize_participants(world.manrs)
+        ),
+        "asrank": _sha256_text(
+            serialize_asrank(build_asrank(world.topology))
+        ),
+        "irr": _sha256_chunks(
+            f"% {database.name}\n"
+            + serialize_database(list(database.all_routes()))
+            for database in world.irr.databases
+        ),
+        "rib": _sha256_chunks(_rib_payload_chunks(world.rib)),
+        "ihr": _sha256_text(
+            json.dumps(_ihr_payload(world.ihr), **_JSON_COMPACT)
+        ),
     }
-    return {name: _sha256_text(text) for name, text in texts.items()}
 
 
 def serialize_prefix2as_text(world: World) -> str:
@@ -1185,10 +1371,20 @@ class CheckpointStore:
             shutil.rmtree(staging)
         with obs.span("checkpoint.save", key=key[:12]):
             export_world(world, staging)
-            rib_meta, rib_arrays = _rib_arrays(world.rib)
-            ihr_meta, ihr_arrays = _ihr_arrays(world.ihr)
-            scenario_meta, scenario_arrays = _scenario_payload(world)
-            rpki_meta, rpki_arrays = _rpki_payload(world.rpki_repository)
+            # One stage's columns are alive at a time: each stage's
+            # arrays stream into the archive (same member order np.savez
+            # produced) and are released before the next stage is even
+            # built, so save-time RSS no longer doubles the world.
+            with ColumnWriter(staging / ARRAYS_FILE) as writer:
+                rib_meta, stage_arrays = _rib_arrays(world.rib)
+                writer.write_all(stage_arrays)
+                ihr_meta, stage_arrays = _ihr_arrays(world.ihr)
+                writer.write_all(stage_arrays)
+                scenario_meta, stage_arrays = _scenario_payload(world)
+                writer.write_all(stage_arrays)
+                rpki_meta, stage_arrays = _rpki_payload(world.rpki_repository)
+                writer.write_all(stage_arrays)
+                del stage_arrays
             payloads = {
                 TOPOLOGY_FILE: _topology_payload(world.topology),
                 SCENARIO_FILE: scenario_meta,
@@ -1200,16 +1396,8 @@ class CheckpointStore:
                 (staging / name).write_text(
                     json.dumps(payload, **_JSON_COMPACT)
                 )
-            with open(staging / ARRAYS_FILE, "wb") as handle:
-                np.savez(
-                    handle,
-                    **rib_arrays,
-                    **ihr_arrays,
-                    **scenario_arrays,
-                    **rpki_arrays,
-                )
             files = {
-                path.name: _sha256_bytes(path.read_bytes())
+                path.name: _sha256_file(path)
                 for path in sorted(staging.iterdir())
             }
             manifest = {
@@ -1392,7 +1580,7 @@ class CheckpointStore:
             if not path.is_file():
                 problems.append(f"{name}: missing")
                 continue
-            if _sha256_bytes(path.read_bytes()) != expected:
+            if _sha256_file(path) != expected:
                 problems.append(f"{name}: digest mismatch")
         years = entry / YEARS_DIR
         if years.is_dir():

@@ -11,7 +11,7 @@ and handled by the IHR pipeline's prefix-origin dataset (§5.3).
 from __future__ import annotations
 
 import math
-from typing import Sequence
+from typing import Iterable, Sequence
 
 from repro.net.asn import strip_prepending
 
@@ -81,7 +81,7 @@ def hegemony_scores(
 
 
 def global_hegemony(
-    local_scores: Sequence[dict[int, float]],
+    local_scores: Iterable[dict[int, float]],
 ) -> dict[int, float]:
     """Global AS hegemony: mean local hegemony over all destinations.
 
@@ -89,14 +89,19 @@ def global_hegemony(
     local hegemony over every routed destination (absent destinations
     contribute 0).  Scores express how much of the Internet's routing
     depends on an AS — the "thin bridges" of AS connectivity.
+
+    ``local_scores`` may be any iterable (e.g. a generator streaming
+    per-destination scores out of a partitioned hegemony pass); it is
+    consumed exactly once and never materialised here.
     """
-    n_destinations = len(local_scores)
-    if n_destinations == 0:
-        return {}
+    n_destinations = 0
     totals: dict[int, float] = {}
     for scores in local_scores:
+        n_destinations += 1
         for asn, score in scores.items():
             totals[asn] = totals.get(asn, 0.0) + score
+    if n_destinations == 0:
+        return {}
     return {
         asn: total / n_destinations for asn, total in totals.items()
     }

@@ -38,7 +38,8 @@ from repro.net.asn import strip_prepending
 from repro.rpki.rov import ROVValidator
 from repro.shard import (
     check_shard_manifests,
-    pool_map,
+    pool_map_consume,
+    resolve_build_budget,
     resolve_shards,
     shard_manifest,
     split_evenly,
@@ -52,6 +53,13 @@ log = logging.getLogger(__name__)
 #: Below this many visible route groups the per-pool topology pickling
 #: cannot pay for itself; transit scoring stays in-process.
 MIN_SHARD_GROUPS = 64
+
+#: Flat-path working-set bound (bytes) for one in-process hegemony
+#: partition when no ``REPRO_BUILD_BUDGET_MB`` is configured.  Per-group
+#: scores depend only on that group's paths, so partitioning the flat
+#: reduction is an identity transform — it just caps how much of the
+#: RIB's path table is ever flattened into int64 columns at once.
+DEFAULT_HEGEMONY_PARTITION_BYTES = 64 * 1024 * 1024
 
 
 def build_ihr_dataset(
@@ -302,23 +310,67 @@ def _groups_from_columns(
     return transit_groups
 
 
+def _partition_groups(
+    visible: list[RouteGroup], budget_bytes: int
+) -> list[list[RouteGroup]]:
+    """Contiguous partitions of ``visible`` bounded by flat-path bytes.
+
+    A group whose paths alone exceed the budget gets a partition of its
+    own — partitions are never empty and their concatenation is
+    ``visible``, so the streamed reduction visits every group exactly
+    once in the serial order.
+    """
+    partitions: list[list[RouteGroup]] = []
+    current: list[RouteGroup] = []
+    current_bytes = 0
+    for group in visible:
+        group_bytes = 8 * sum(len(path) for path in group.paths.values())
+        if current and current_bytes + group_bytes > budget_bytes:
+            partitions.append(current)
+            current = []
+            current_bytes = 0
+        current.append(group)
+        current_bytes += group_bytes
+    if current:
+        partitions.append(current)
+    return partitions
+
+
 def _transit_groups_numpy(
     visible: list[RouteGroup],
     group_statuses: list[tuple],
     topology: ASTopology,
     trim: float,
 ) -> list[TransitGroup]:
-    """Columnar transit scoring: one flat reduction over all groups.
+    """Columnar transit scoring, streamed over route-group partitions.
 
     Produces the same TransitGroups in the same order with the same
     per-group transit insertion order as the reference loop (see
-    :func:`repro.kernels.groupby.hegemony_transits`).
+    :func:`repro.kernels.groupby.hegemony_transits`).  The flat
+    reduction runs one bounded partition at a time: each group's rows
+    depend only on its own paths and partitions are contiguous slices,
+    so per-partition columns materialise exactly the groups the global
+    reduction would — with the flattened int64 working set capped at
+    ``REPRO_BUILD_BUDGET_MB`` (default
+    :data:`DEFAULT_HEGEMONY_PARTITION_BYTES`).
     """
-    return _groups_from_columns(
-        visible,
-        group_statuses,
-        _hegemony_columns(visible, topology, trim),
-    )
+    budget = resolve_build_budget()
+    bound = budget if budget is not None else DEFAULT_HEGEMONY_PARTITION_BYTES
+    partitions = _partition_groups(visible, max(1, bound))
+    obs.add("hegemony.partitions", len(partitions))
+    transit_groups: list[TransitGroup] = []
+    start = 0
+    for partition in partitions:
+        statuses = group_statuses[start : start + len(partition)]
+        transit_groups.extend(
+            _groups_from_columns(
+                partition,
+                statuses,
+                _hegemony_columns(partition, topology, trim),
+            )
+        )
+        start += len(partition)
+    return transit_groups
 
 
 def _customer_learning(
@@ -359,10 +411,10 @@ def _init_ihr_shard_worker(topology: ASTopology, trim: float) -> None:
 def _transit_shard(task: tuple) -> tuple[dict, tuple]:
     """Score one route-group chunk; emits hegemony column shards.
 
-    Group ids in the emitted columns are chunk-local — the driver adds
-    the chunk's start offset before concatenating.  Under the python
-    kernels the shard carries finished TransitGroups instead (the
-    reference loop has no columnar intermediate).
+    Group ids in the emitted columns are chunk-local — the driver
+    materialises each shard's groups directly against its own chunk.
+    Under the python kernels the shard carries finished TransitGroups
+    instead (the reference loop has no columnar intermediate).
     """
     index, total, chunk, chunk_statuses = task
     assert _shard_topology is not None
@@ -388,17 +440,15 @@ def _sharded_transit_groups(
     """Group-chunk sharded transit scoring; None falls back in-process.
 
     Chunks are contiguous slices of ``visible`` and every group's rows
-    depend only on its own paths, so concatenating the column shards in
-    ascending shard order (with group ids shifted by each chunk's start)
+    depend only on its own paths, so materialising each shard's groups
+    from its chunk-local columns and extending in ascending shard order
     reproduces the unsharded reduction exactly.
     """
     chunks = split_evenly(visible, shards)
     total = len(chunks)
-    starts: list[int] = []
     status_chunks: list[list[tuple]] = []
     start = 0
     for chunk in chunks:
-        starts.append(start)
         status_chunks.append(group_statuses[start : start + len(chunk)])
         start += len(chunk)
     tasks = [
@@ -406,19 +456,43 @@ def _sharded_transit_groups(
         for index, chunk in enumerate(chunks)
     ]
     obs.add("ihr.transit_shards", total)
-    results = pool_map(
+    manifests: list[dict] = []
+    kinds: set[str] = set()
+    parts: list[list[TransitGroup]] = []
+
+    def consume(result: tuple[dict, tuple]) -> None:
+        # Shard columns carry chunk-local group ids, so each shard's
+        # TransitGroups materialise on arrival against its own chunk —
+        # no global column concatenation, at most one shard's columns
+        # resident.  Should manifest validation below reject the set,
+        # the materialised parts are discarded wholesale (the usual
+        # discard-don't-stitch contract), never partially reused.
+        manifest, payload = result
+        position = len(manifests)
+        manifests.append(manifest)
+        kinds.add(payload[0])
+        if payload[0] == "columns" and position < total:
+            parts.append(
+                _groups_from_columns(
+                    list(chunks[position]),
+                    status_chunks[position],
+                    payload[1],
+                )
+            )
+        elif payload[0] == "groups":
+            parts.append(payload[1])
+
+    ok = pool_map_consume(
         _transit_shard,
         tasks,
         workers=obs.resolve_jobs(jobs),
+        consume=consume,
         initializer=_init_ihr_shard_worker,
         initargs=(topology, trim),
     )
-    if results is None:
+    if not ok:
         return None
-    problems = check_shard_manifests(
-        [manifest for manifest, _ in results], "ihr.transit", total
-    )
-    kinds = {payload[0] for _, payload in results}
+    problems = check_shard_manifests(manifests, "ihr.transit", total)
     if not problems and len(kinds) != 1:
         problems.append(f"mixed shard payload kinds {sorted(kinds)}")
     if problems:
@@ -428,18 +502,7 @@ def _sharded_transit_groups(
         )
         obs.add("shard.discarded")
         return None
-    if kinds == {"columns"}:
-        parts = [payload[1] for _, payload in results]
-        merged = (
-            np.concatenate(
-                [part[0] + starts[index] for index, part in enumerate(parts)]
-            ),
-            np.concatenate([part[1] for part in parts]),
-            np.concatenate([part[2] for part in parts]),
-            np.concatenate([part[3] for part in parts]),
-        )
-        return _groups_from_columns(visible, group_statuses, merged)
     transit_groups: list[TransitGroup] = []
-    for _, payload in results:
-        transit_groups.extend(payload[1])
+    for part in parts:
+        transit_groups.extend(part)
     return transit_groups

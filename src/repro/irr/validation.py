@@ -36,8 +36,11 @@ from repro.irr.database import IRRCollection, IRRDatabase
 from repro.irr.objects import RouteObject
 from repro.net.prefix import Prefix
 from repro.shard import (
+    ColumnAccumulator,
+    SpillError,
     check_shard_manifests,
-    pool_map,
+    pool_map_consume,
+    resolve_build_budget,
     resolve_shards,
     shard_manifest,
     split_evenly,
@@ -219,34 +222,50 @@ def _sharded_statuses(
     total = len(chunks)
     tasks = [(index, total, list(chunk)) for index, chunk in enumerate(chunks)]
     obs.add("irr.validate_shards", total)
-    results = pool_map(
-        _classify_route_shard,
-        tasks,
-        workers=max(jobs, 1),
-        initializer=_init_irr_shard_worker,
-        initargs=(registry,),
-    )
-    if results is None:
-        return None
-    problems = check_shard_manifests(
-        [manifest for manifest, _ in results], "irr.validate", total
-    )
-    if not problems and sum(len(codes) for _, codes in results) != len(
-        pending
-    ):
-        problems.append("row accounting mismatch")
-    if problems:
+    manifests: list[dict] = []
+    rows_seen = 0
+    try:
+        with ColumnAccumulator(
+            "irr.validate", budget_bytes=resolve_build_budget()
+        ) as accumulator:
+
+            def consume(result: tuple[dict, np.ndarray]) -> None:
+                nonlocal rows_seen
+                manifest, codes = result
+                manifests.append(manifest)
+                rows_seen += len(codes)
+                accumulator.append({"codes": codes})
+
+            ok = pool_map_consume(
+                _classify_route_shard,
+                tasks,
+                workers=max(jobs, 1),
+                consume=consume,
+                initializer=_init_irr_shard_worker,
+                initargs=(registry,),
+            )
+            if not ok:
+                return None
+            problems = check_shard_manifests(manifests, "irr.validate", total)
+            if not problems and rows_seen != len(pending):
+                problems.append("row accounting mismatch")
+            if problems:
+                log.warning(
+                    "discarding sharded IRR validation (%s); "
+                    "recomputing unsharded",
+                    "; ".join(problems),
+                )
+                obs.add("shard.discarded")
+                return None
+            codes = accumulator.concat()["codes"]
+    except SpillError as error:
         log.warning(
             "discarding sharded IRR validation (%s); recomputing unsharded",
-            "; ".join(problems),
+            error,
         )
         obs.add("shard.discarded")
         return None
-    return [
-        _STATUS_BY_CODE[code]
-        for _, codes in results
-        for code in codes.tolist()
-    ]
+    return [_STATUS_BY_CODE[code] for code in codes.tolist()]
 
 
 def validate_irr_many(

@@ -29,6 +29,7 @@ from typing import Iterator
 
 __all__ = [
     "PERF_ENV",
+    "RSS_ENV",
     "Span",
     "annotate",
     "current_span",
@@ -41,6 +42,12 @@ __all__ = [
 
 PERF_ENV = "REPRO_PERF"
 
+#: Opt-in per-span RSS stamping (used by the benchmark scale sweep's
+#: cold leg): at span close the process high-water RSS is attached as an
+#: ``rss_mb`` attribute, so the span tree shows which stage pushed the
+#: high-water mark where.
+RSS_ENV = "REPRO_SPAN_RSS"
+
 #: Completed top-level spans, in completion order.
 _roots: list["Span"] = []
 #: Open spans, outermost first.
@@ -52,6 +59,24 @@ _aggregate: dict[str, float] = {}
 def enabled() -> bool:
     """True when ``REPRO_PERF`` asks for a printed breakdown."""
     return os.environ.get(PERF_ENV, "") not in ("", "0")
+
+
+def rss_stamping() -> bool:
+    """True when ``REPRO_SPAN_RSS`` asks spans to record high-water RSS."""
+    return os.environ.get(RSS_ENV, "") not in ("", "0")
+
+
+def high_water_rss_mb() -> float:
+    """The process's high-water RSS in MiB (0.0 where unsupported).
+
+    ``ru_maxrss`` is KiB on Linux; the benchmark runner divides the same
+    way, so stamped spans and sweep points are directly comparable.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return 0.0
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
 
 
 @dataclass
@@ -98,6 +123,8 @@ def span(name: str, **attrs: object) -> Iterator[Span]:
         yield current
     finally:
         current.elapsed = time.perf_counter() - current.start
+        if rss_stamping():
+            current.attrs["rss_mb"] = round(high_water_rss_mb(), 1)
         _stack.pop()
         if _stack:
             _stack[-1].children.append(current)

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 from datetime import date, timedelta
+from typing import Iterator
 
 import numpy as np
 
@@ -54,6 +55,15 @@ from repro.topology.model import ASCategory, ASTopology
 __all__ = ["build_world"]
 
 _RADB = "RADB"
+
+#: The whole (rpki_invalid, irr_invalid) space is four frozen value-equal
+#: instances; interning them keeps the classify → collect stream from
+#: allocating one RouteClass per route.
+_ROUTE_CLASSES = {
+    (rpki, irr): RouteClass(rpki_invalid=rpki, irr_invalid=irr)
+    for rpki in (False, True)
+    for irr in (False, True)
+}
 
 
 def build_world(
@@ -167,26 +177,36 @@ def _build_world(
         # which the IHR pipeline re-queries for the visible routes below.
         rpki_by_route = rov.validate_many(routes, shards=shards, jobs=jobs)
         irr_by_route = validate_irr_many(ctx.irr, routes, shards=shards, jobs=jobs)
-        announcements: list[tuple[Announcement, RouteClass]] = [
-            (
-                Announcement(prefix, asn),
-                RouteClass(
-                    rpki_invalid=rpki_by_route[(prefix, asn)].is_invalid,
-                    irr_invalid=irr_by_route[(prefix, asn)]
-                    is IRRStatus.INVALID_ORIGIN,
-                ),
-            )
-            for prefix, asn in routes
-        ]
         obs.add("build.routes_classified", len(routes))
         obs.add(
             "build.routes_rpki_invalid",
-            sum(1 for _, rc in announcements if rc.rpki_invalid),
+            sum(1 for r in routes if rpki_by_route[r].is_invalid),
         )
         obs.add(
             "build.routes_irr_invalid",
-            sum(1 for _, rc in announcements if rc.irr_invalid),
+            sum(
+                1
+                for r in routes
+                if irr_by_route[r] is IRRStatus.INVALID_ORIGIN
+            ),
         )
+
+    # Classified announcements stream straight into collection instead of
+    # materialising a per-route dataclass list: RouteClass is a frozen
+    # value type (four interned instances cover the whole space), and
+    # collect_rib groups by (origin, class) on first iteration, so the
+    # generator is digest-neutral and the per-route pairs never coexist.
+    def announcements() -> Iterator[tuple[Announcement, RouteClass]]:
+        for prefix, asn in routes:
+            yield (
+                Announcement(prefix, asn),
+                _ROUTE_CLASSES[
+                    (
+                        rpki_by_route[(prefix, asn)].is_invalid,
+                        irr_by_route[(prefix, asn)] is IRRStatus.INVALID_ORIGIN,
+                    )
+                ],
+            )
 
     engine = PropagationEngine(topology, policies)
     vantage_points = select_vantage_points(
@@ -197,7 +217,7 @@ def _build_world(
     )
     with obs.span("build.collect_rib"):
         rib = collect_rib(
-            engine, announcements, vantage_points, jobs=jobs, shards=shards
+            engine, announcements(), vantage_points, jobs=jobs, shards=shards
         )
     prefix2as = Prefix2AS.from_rib(rib)
     with obs.span("build.ihr"):

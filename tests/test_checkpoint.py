@@ -86,6 +86,19 @@ class TestWarmEqualsCold:
         )
         assert dataset_digests(warm) == dataset_digests(small_world)
 
+    def test_streamed_rib_payload_matches_dumps(self, small_world):
+        # The digest path hashes the RIB payload text chunk-by-chunk;
+        # the stream must reproduce json.dumps byte for byte or golden
+        # digests silently drift.
+        from repro.datasets.checkpoint import (
+            _JSON_COMPACT,
+            _rib_payload,
+            _rib_payload_chunks,
+        )
+
+        want = json.dumps(_rib_payload(small_world.rib), **_JSON_COMPACT)
+        assert "".join(_rib_payload_chunks(small_world.rib)) == want
+
     def test_warm_world_answers_queries(self, saved, small_world):
         store, _ = saved
         warm = store.load(

@@ -10,6 +10,8 @@ manifest tests pin the discard-don't-stitch safety contract.
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
@@ -23,6 +25,8 @@ from repro.rpki import rov as rov_module
 from repro.rpki.rov import ROVValidator
 from repro.shard import (
     SHARD_SCHEMA_VERSION,
+    ColumnAccumulator,
+    SpillError,
     check_shard_manifests,
     resolve_shards,
     shard_manifest,
@@ -176,17 +180,20 @@ class TestShardedStagesMatchSerial:
         routes = _routes_of(world=small_world)
         monkeypatch.setattr(rov_module, "MIN_SHARD_ROUTES", 1)
 
-        def skewed_pool_map(fn, tasks, workers, initializer=None, initargs=()):
+        def skewed_pool_map_consume(
+            fn, tasks, workers, consume, initializer=None, initargs=()
+        ):
             if initializer is not None:
                 initializer(*initargs)
-            results = []
             for task in tasks:
                 manifest, payload = fn(task)
                 manifest["schema"] = SHARD_SCHEMA_VERSION + 99
-                results.append((manifest, payload))
-            return results
+                consume((manifest, payload))
+            return True
 
-        monkeypatch.setattr(rov_module, "pool_map", skewed_pool_map)
+        monkeypatch.setattr(
+            rov_module, "pool_map_consume", skewed_pool_map_consume
+        )
         before = obs.counters().get("shard.discarded", 0)
         serial = ROVValidator(small_world.rov.all_vrps()).validate_many(routes)
         with caplog.at_level("WARNING"):
@@ -196,3 +203,165 @@ class TestShardedStagesMatchSerial:
         assert sharded == serial
         assert obs.counters().get("shard.discarded", 0) == before + 1
         assert any("discarding" in r.message for r in caplog.records)
+
+
+def _reference_concat(blocks):
+    """The in-memory concatenation the accumulator must reproduce."""
+    names: list[str] = []
+    for block in blocks:
+        for name in block:
+            if name not in names:
+                names.append(name)
+    return {
+        name: np.concatenate(
+            [block[name] for block in blocks if name in block]
+        )
+        if any(name in block for block in blocks)
+        else np.empty(0)
+        for name in names
+    }
+
+
+@st.composite
+def _column_blocks(draw):
+    """1-5 blocks over a shared column schema (consistent dtype per
+    column, independent lengths — mirroring real shard payloads where
+    offset and value columns differ in length)."""
+    dtypes = draw(
+        st.lists(
+            st.sampled_from(["int8", "uint32", "int64", "float64"]),
+            min_size=1,
+            max_size=3,
+        )
+    )
+    names = [f"col{i}" for i in range(len(dtypes))]
+    blocks = []
+    for _ in range(draw(st.integers(min_value=1, max_value=5))):
+        block = {}
+        for name, dtype in zip(names, dtypes):
+            length = draw(st.integers(min_value=0, max_value=24))
+            values = draw(
+                st.lists(
+                    st.integers(min_value=0, max_value=120),
+                    min_size=length,
+                    max_size=length,
+                )
+            )
+            block[name] = np.asarray(values, dtype=dtype)
+        blocks.append(block)
+    return blocks
+
+
+class TestColumnAccumulator:
+    """Spill-then-concat must equal in-memory concat, bit for bit, and a
+    corrupted scratch file must be discarded — never stitched."""
+
+    @given(blocks=_column_blocks(), budget=st.integers(0, 64))
+    @settings(max_examples=80, deadline=None)
+    def test_spill_concat_equals_memory_concat(self, blocks, budget):
+        expected = _reference_concat(blocks)
+        with ColumnAccumulator("test.stage", budget_bytes=budget) as acc:
+            for block in blocks:
+                acc.append(block)
+            merged = acc.concat()
+        assert set(merged) == set(expected)
+        for name, array in expected.items():
+            assert merged[name].dtype == array.dtype
+            np.testing.assert_array_equal(merged[name], array)
+
+    @given(blocks=_column_blocks())
+    @settings(max_examples=40, deadline=None)
+    def test_unbudgeted_never_spills(self, blocks):
+        with ColumnAccumulator("test.stage") as acc:
+            for block in blocks:
+                acc.append(block)
+            assert not acc.spilled
+            merged = acc.concat()
+        expected = _reference_concat(blocks)
+        for name, array in expected.items():
+            np.testing.assert_array_equal(merged[name], array)
+
+    def test_blocks_read_back_one_at_a_time(self):
+        payloads = [
+            {"x": np.arange(start, start + 10, dtype=np.int64)}
+            for start in (0, 10, 20)
+        ]
+        with ColumnAccumulator("test.stage", budget_bytes=0) as acc:
+            for payload in payloads:
+                acc.append(payload)
+            assert acc.spilled
+            assert acc.block_count == 3
+            for index, payload in enumerate(payloads):
+                np.testing.assert_array_equal(
+                    acc.block(index)["x"], payload["x"]
+                )
+
+    def test_spill_counters_fire(self):
+        before = obs.counters().get("build.spill.blocks", 0)
+        files_before = obs.counters().get("build.spill.files", 0)
+        with ColumnAccumulator("test.stage", budget_bytes=0) as acc:
+            acc.append({"x": np.arange(64, dtype=np.int64)})
+        assert obs.counters().get("build.spill.blocks", 0) == before + 1
+        assert obs.counters().get("build.spill.files", 0) == files_before + 1
+
+    def test_object_dtype_rejected(self):
+        with ColumnAccumulator("test.stage") as acc:
+            with pytest.raises(ValueError, match="object dtype"):
+                acc.append({"x": np.asarray([object()])})
+
+    def test_mixed_dtype_column_rejected(self):
+        with ColumnAccumulator("test.stage") as acc:
+            acc.append({"x": np.arange(4, dtype=np.int64)})
+            acc.append({"x": np.arange(4, dtype=np.int32)})
+            with pytest.raises(ValueError, match="mixes dtypes"):
+                acc.concat()
+
+    def test_truncated_scratch_discards_and_recovers(self, tmp_path):
+        payloads = [
+            {"x": np.arange(100, dtype=np.int64)},
+            {"x": np.arange(100, 200, dtype=np.int64)},
+        ]
+        acc = ColumnAccumulator(
+            "test.stage", budget_bytes=0, scratch_dir=str(tmp_path)
+        )
+        for payload in payloads:
+            acc.append(payload)
+        assert acc.spilled
+        scratch = acc._path
+        assert scratch is not None
+        # Truncate the scratch file behind the accumulator's back (a
+        # full /tmp, an eager cleaner): read-back must refuse to stitch.
+        with open(scratch, "r+b") as handle:
+            handle.truncate(8)
+        before = obs.counters().get("build.spill.corrupt", 0)
+        with pytest.raises(SpillError):
+            acc.concat()
+        assert obs.counters().get("build.spill.corrupt", 0) == before + 1
+        # The scratch file is discarded, not patched...
+        assert acc._path is None
+        assert not Path(scratch).exists()
+        # ...and the caller-level fallback — re-accumulating without a
+        # budget — still produces the correct concatenation.
+        with ColumnAccumulator("test.stage") as fallback:
+            for payload in payloads:
+                fallback.append(payload)
+            merged = fallback.concat()
+        np.testing.assert_array_equal(
+            merged["x"], np.arange(200, dtype=np.int64)
+        )
+
+    def test_closed_accumulator_rejects_appends(self):
+        acc = ColumnAccumulator("test.stage")
+        acc.close()
+        with pytest.raises(SpillError, match="closed"):
+            acc.append({"x": np.arange(4)})
+
+    def test_close_removes_scratch_file(self, tmp_path):
+        acc = ColumnAccumulator(
+            "test.stage", budget_bytes=0, scratch_dir=str(tmp_path)
+        )
+        acc.append({"x": np.arange(64, dtype=np.int64)})
+        scratch = acc._path
+        assert scratch is not None and Path(scratch).exists()
+        acc.close()
+        assert not Path(scratch).exists()
